@@ -1,0 +1,71 @@
+"""Ablation (§4.4): NVML clock-switch overhead versus kernel count.
+
+The paper observes that frequency scaling through NVML "introduces an
+overhead that becomes significant as the number of submitted kernels
+grows". This bench quantifies it on the simulated V100: a fixed amount of
+work split into more (smaller) kernels, each submitted with its own clock
+request, against the same work at the default clocks.
+"""
+
+from repro.core.frequency import FrequencyScaler
+from repro.core.queue import SynergyQueue
+from repro.experiments.report import format_table
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+TOTAL_ITEMS = 1 << 28
+KERNEL_COUNTS = (1, 4, 16, 64, 256)
+SWITCH_OVERHEAD_S = 1.0e-3
+
+
+def _run_split(n_kernels: int) -> dict[str, float]:
+    """Run the fixed workload as n kernels with alternating clock targets."""
+    gpu = SimulatedGPU(NVIDIA_V100)
+    queue = SynergyQueue(gpu, switch_overhead_s=SWITCH_OVERHEAD_S)
+    kernel = KernelIR(
+        "ablate",
+        InstructionMix(float_add=480, float_mul=480, gl_access=8),
+        work_items=TOTAL_ITEMS // n_kernels,
+    )
+    clocks = (NVIDIA_V100.core_freqs_mhz[120], NVIDIA_V100.core_freqs_mhz[170])
+    t0 = gpu.clock.now
+    for i in range(n_kernels):
+        queue.submit(
+            877, clocks[i % 2], lambda h: h.parallel_for(kernel.work_items, kernel)
+        )
+    queue.wait()
+    elapsed = gpu.clock.now - t0
+    return {
+        "n_kernels": n_kernels,
+        "elapsed_s": elapsed,
+        "switch_overhead_s": queue.scaler.total_overhead_s,
+        "overhead_fraction": queue.scaler.total_overhead_s / elapsed,
+        "energy_j": gpu.energy_between(t0, gpu.clock.now),
+    }
+
+
+def test_ablation_switch_overhead(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_split(n) for n in KERNEL_COUNTS], rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["#kernels", "elapsed (s)", "switch overhead (s)",
+             "overhead fraction", "energy (J)"],
+            [
+                [r["n_kernels"], r["elapsed_s"], r["switch_overhead_s"],
+                 r["overhead_fraction"], r["energy_j"]]
+                for r in rows
+            ],
+            title="Ablation - NVML switch overhead vs kernel count (1 ms/switch)",
+        )
+    )
+    fractions = [r["overhead_fraction"] for r in rows]
+    # Overhead fraction grows monotonically with the kernel count...
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    # ...from negligible to dominant, the §4.4 regime.
+    assert fractions[0] < 0.03
+    assert fractions[-1] > 0.30

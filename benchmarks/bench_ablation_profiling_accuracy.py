@@ -1,0 +1,78 @@
+"""Ablation (§4.4): fine-grained profiling accuracy vs kernel duration.
+
+"Accurate fine-grained energy profiling is limited by the fact that the
+kernel execution must be long enough in order to produce meaningful
+results, due to the maximum sampling frequency supported by the hardware,
+which needs around 15 ms long sampling intervals."
+
+This bench measures the sensor's relative energy error against the analytic
+ground truth for kernels spanning ~0.1 ms to ~1 s, at the 15 ms sampling
+interval. Expected shape: large errors below one sampling period, settling
+to a few percent once many samples cover the kernel.
+"""
+
+import numpy as np
+
+from repro.core.profiling import EnergyProfiler
+from repro.core.queue import SynergyQueue
+from repro.experiments.report import format_table
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+#: Work-item counts spanning ~0.1 ms to ~1 s kernels on the V100 model.
+SIZES = (1 << 16, 1 << 19, 1 << 22, 1 << 25, 1 << 28)
+#: Repetitions per size (kernels land at different sampling phases).
+REPEATS = 8
+
+
+def _measure_errors() -> list[dict[str, float]]:
+    rows = []
+    mix = InstructionMix(float_add=2048, float_mul=2048, gl_access=8)
+    for size in SIZES:
+        gpu = SimulatedGPU(NVIDIA_V100)
+        queue = SynergyQueue(gpu)
+        kernel = KernelIR(f"probe_{size}", mix, work_items=size)
+        errors = []
+        duration = 0.0
+        for _ in range(REPEATS):
+            gpu.clock.advance(0.0073)  # desynchronize from the sample grid
+            event = queue.submit(lambda h: h.parallel_for(size, kernel))
+            event.wait()
+            true = queue.kernel_energy_consumption(event, true_value=True)
+            sensed = queue.kernel_energy_consumption(event)
+            errors.append(abs(sensed - true) / true)
+            duration = event.duration_s
+        rows.append(
+            {
+                "duration_ms": duration * 1e3,
+                "samples_per_kernel": duration / 15e-3,
+                "mean_rel_error": float(np.mean(errors)),
+                "max_rel_error": float(np.max(errors)),
+            }
+        )
+    return rows
+
+
+def test_ablation_profiling_accuracy(benchmark):
+    rows = benchmark.pedantic(_measure_errors, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["kernel (ms)", "sampling periods", "mean rel. error",
+             "max rel. error"],
+            [[r["duration_ms"], r["samples_per_kernel"], r["mean_rel_error"],
+              r["max_rel_error"]] for r in rows],
+            title="Ablation - sensor energy error vs kernel duration (15 ms sampling)",
+        )
+    )
+    # Sub-sampling-period kernels mis-measure badly...
+    assert rows[0]["samples_per_kernel"] < 0.1
+    assert rows[0]["max_rel_error"] > 0.10
+    # ...while long kernels converge to a few percent.
+    assert rows[-1]["samples_per_kernel"] > 10
+    assert rows[-1]["mean_rel_error"] < 0.05
+    # Error decreases (weakly) with duration.
+    means = [r["mean_rel_error"] for r in rows]
+    assert means[-1] < means[0]

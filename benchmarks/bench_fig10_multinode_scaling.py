@@ -1,0 +1,113 @@
+"""Figure 10: real-world application energy scaling up to 64 V100 GPUs.
+
+Weak scaling of CloverLeaf and MiniWeather on the simulated Marconi-100
+(4 V100 boards per node, InfiniBand EDR, DragonFly+): for each GPU count
+the apps run once per energy target with per-kernel compiled frequencies,
+submitted as exclusive ``nvgpufreq`` SLURM jobs. The series printed per
+application are the Fig. 10 point clouds: execution time (computation +
+communication) against GPU-only energy.
+"""
+
+import pytest
+
+from repro.apps import CloverLeaf, MiniWeather
+from repro.experiments.report import format_table
+from repro.experiments.scaling import FIG10_TARGETS, run_scaling_experiment
+
+GPU_COUNTS = (4, 8, 16, 32, 64)
+STEPS = 4
+
+
+@pytest.fixture(scope="module")
+def cloverleaf_result(v100_best_bundle):
+    return run_scaling_experiment(
+        lambda: CloverLeaf(steps=STEPS),
+        gpu_counts=GPU_COUNTS,
+        targets=FIG10_TARGETS,
+        bundle=v100_best_bundle,
+    )
+
+
+@pytest.fixture(scope="module")
+def miniweather_result(v100_best_bundle):
+    return run_scaling_experiment(
+        lambda: MiniWeather(steps=STEPS),
+        gpu_counts=GPU_COUNTS,
+        targets=FIG10_TARGETS,
+        bundle=v100_best_bundle,
+    )
+
+
+def _print_result(result):
+    print()
+    print(
+        format_table(
+            ["GPUs", "target", "time (s)", "GPU energy (J)", "comm (s)",
+             "saving vs default"],
+            [
+                [
+                    p.n_gpus,
+                    p.target_name,
+                    p.elapsed_s,
+                    p.gpu_energy_j,
+                    p.comm_time_s,
+                    p.energy_saving_vs(result.baseline(p.n_gpus)),
+                ]
+                for p in result.points
+            ],
+            title=f"Figure 10 - {result.app_name} energy scaling",
+        )
+    )
+
+
+def _check_common(result):
+    for n in GPU_COUNTS:
+        base = result.baseline(n)
+        assert base.gpu_energy_j > 0 and base.elapsed_s > 0
+        # Communication is part of the reported time.
+        assert result.point(n, "MIN_EDP").comm_time_s > 0
+
+    # Weak scaling: GPU energy grows roughly linearly with the GPU count.
+    e4 = result.baseline(4).gpu_energy_j
+    e64 = result.baseline(64).gpu_energy_j
+    assert 8.0 < e64 / e4 < 24.0  # ~16x work, comm overheads allowed
+
+    # The tuned targets keep saving at every scale ("scalable energy
+    # saving"): the best target saves a roughly constant fraction.
+    savings = {
+        n: max(
+            result.point(n, t.name).energy_saving_vs(result.baseline(n))
+            for t in FIG10_TARGETS
+        )
+        for n in GPU_COUNTS
+    }
+    for n in GPU_COUNTS:
+        assert savings[n] > 0.08, (result.app_name, n, savings[n])
+    assert max(savings.values()) - min(savings.values()) < 0.10
+
+
+def test_fig10a_cloverleaf_scaling(benchmark, cloverleaf_result):
+    benchmark.pedantic(lambda: None, rounds=1)  # work done in fixture
+    _print_result(cloverleaf_result)
+    _check_common(cloverleaf_result)
+
+
+def test_fig10b_miniweather_scaling(benchmark, miniweather_result):
+    benchmark.pedantic(lambda: None, rounds=1)
+    _print_result(miniweather_result)
+    _check_common(miniweather_result)
+
+
+def test_fig10_miniweather_saves_more(benchmark, cloverleaf_result, miniweather_result):
+    """§8.4: ~20% saving on CloverLeaf, up to ~30% on MiniWeather."""
+    benchmark.pedantic(lambda: None, rounds=1)  # work done in fixtures
+    def best_saving(result, n=64):
+        return max(
+            result.point(n, t.name).energy_saving_vs(result.baseline(n))
+            for t in FIG10_TARGETS
+        )
+
+    clover = best_saving(cloverleaf_result)
+    weather = best_saving(miniweather_result)
+    print(f"\nbest 64-GPU saving: cloverleaf={clover:.3f} miniweather={weather:.3f}")
+    assert weather > clover

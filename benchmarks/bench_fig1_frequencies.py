@@ -1,0 +1,43 @@
+"""Figure 1: available core and memory frequencies per GPU model.
+
+Regenerates the per-device frequency inventories the paper plots: 196 core
+configurations (135–1530 MHz) at 877 MHz memory for the V100, 81
+(210–1410 MHz) at 1215 MHz for the A100, 16 (300–1502 MHz) at 1200 MHz for
+the MI100.
+"""
+
+from repro.experiments.report import format_table
+from repro.hw.specs import AMD_MI100, NVIDIA_A100, NVIDIA_V100
+
+
+def _figure1_rows():
+    rows = []
+    for spec in (NVIDIA_V100, NVIDIA_A100, AMD_MI100):
+        rows.append(
+            [
+                spec.name,
+                len(spec.core_freqs_mhz),
+                spec.min_core_mhz,
+                spec.max_core_mhz,
+                spec.mem_freqs_mhz[0],
+                spec.default_core_mhz,
+            ]
+        )
+    return rows
+
+
+def test_fig1_available_frequencies(benchmark):
+    rows = benchmark(_figure1_rows)
+    print()
+    print(
+        format_table(
+            ["device", "#core configs", "core min (MHz)", "core max (MHz)",
+             "mem (MHz)", "default core (MHz)"],
+            rows,
+            title="Figure 1 - available frequencies",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["NVIDIA V100"][1:5] == [196, 135, 1530, 877]
+    assert by_name["NVIDIA A100"][1:5] == [81, 210, 1410, 1215]
+    assert by_name["AMD MI100"][1:5] == [16, 300, 1502, 1200]

@@ -1,0 +1,65 @@
+"""Figure 2: two kernels with different energy characterization (V100).
+
+Linear Regression (Fig. 2a) — high energy, < ~10% headroom, low clocks very
+inefficient — against Median Filter (Fig. 2b) — > 20% saving with little
+performance loss. The bench regenerates both speedup/normalized-energy
+clouds with their Pareto fronts and checks the contrast.
+"""
+
+import numpy as np
+
+from repro.apps import get_benchmark
+from repro.experiments.characterization import characterize
+from repro.experiments.report import format_series, format_table
+from repro.hw.specs import NVIDIA_V100
+
+
+def _characterize_pair():
+    return {
+        name: characterize(NVIDIA_V100, get_benchmark(name).kernel)
+        for name in ("lin_reg_coeff", "median")
+    }
+
+
+def test_fig2_energy_characterization(benchmark):
+    results = benchmark(_characterize_pair)
+    print()
+    rows = []
+    for name, c in results.items():
+        rows.append(
+            [
+                name,
+                f"[{c.pareto_speedup_min:.2f}, {c.pareto_speedup_max:.2f}]",
+                c.max_energy_saving,
+                c.loss_at_max_saving,
+            ]
+        )
+    print(
+        format_table(
+            ["kernel", "pareto speedup range", "max saving", "loss @ max saving"],
+            rows,
+            title="Figure 2 - per-kernel energy characterization (V100)",
+        )
+    )
+    for name, c in results.items():
+        sweep = c.sweep
+        mask = sweep.pareto_mask
+        print()
+        print(
+            format_series(
+                f"{name} Pareto front",
+                list(sweep.speedup[mask]),
+                list(sweep.normalized_energy[mask]),
+                "speedup",
+                "normalized energy",
+            )
+        )
+
+    lin, med = results["lin_reg_coeff"], results["median"]
+    # Fig. 2a: little headroom, expensive low clocks.
+    assert lin.max_energy_saving < 0.16
+    low_idx = np.argmin(lin.sweep.freqs_mhz)
+    assert lin.sweep.normalized_energy[low_idx] > 1.5
+    # Fig. 2b: > 20% saving, cheap low clocks.
+    assert med.max_energy_saving > 0.20
+    assert med.loss_at_max_saving < 0.10

@@ -1,0 +1,74 @@
+"""Figure 4: Black-Scholes EDP and ED2P versus core frequency (V100).
+
+Regenerates both curves and their minima, checking the paper's structural
+observations: the ED2P optimum sits close to the maximum-performance clock
+while the EDP optimum lies between the minimum-energy and maximum-
+performance clocks.
+"""
+
+import numpy as np
+
+from repro.apps import get_benchmark
+from repro.experiments.report import format_series, format_table
+from repro.experiments.sweep import sweep_kernel
+from repro.hw.specs import NVIDIA_V100
+from repro.metrics.targets import MAX_PERF, MIN_ED2P, MIN_EDP, MIN_ENERGY
+
+
+def _sweep_black_scholes():
+    return sweep_kernel(NVIDIA_V100, get_benchmark("black_scholes").kernel)
+
+
+def test_fig4_blackscholes_edp_ed2p(benchmark):
+    sweep = benchmark(_sweep_black_scholes)
+    f_edp = sweep.freqs_mhz[sweep.resolve(MIN_EDP)]
+    f_ed2p = sweep.freqs_mhz[sweep.resolve(MIN_ED2P)]
+    f_perf = sweep.freqs_mhz[sweep.resolve(MAX_PERF)]
+    f_energy = sweep.freqs_mhz[sweep.resolve(MIN_ENERGY)]
+
+    print()
+    stride = 14  # thin the 196-point series for the report
+    print(
+        format_series(
+            "Figure 4a - EDP vs core frequency",
+            list(sweep.freqs_mhz[::stride]),
+            list(sweep.edp[::stride]),
+            "core MHz",
+            "EDP (J*s)",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "Figure 4b - ED2P vs core frequency",
+            list(sweep.freqs_mhz[::stride]),
+            list(sweep.ed2p[::stride]),
+            "core MHz",
+            "ED2P (J*s^2)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["point", "core MHz"],
+            [
+                ["MIN_ENERGY", f_energy],
+                ["MIN_EDP", f_edp],
+                ["MIN_ED2P", f_ed2p],
+                ["MAX_PERF", f_perf],
+            ],
+            title="Figure 4 - optimum frequencies",
+        )
+    )
+
+    # ED2P leans strongly toward performance: at or above the default
+    # clock, well above the EDP optimum. (The paper's measured ED2P sits
+    # essentially at the top clock; our steeper top-bin voltage ramp pulls
+    # it a few bins lower — see EXPERIMENTS.md.)
+    assert f_ed2p >= NVIDIA_V100.default_core_mhz
+    # EDP lies between the energy optimum and the ED2P optimum.
+    assert f_energy <= f_edp <= f_ed2p
+    # Both curves are convex-ish with interior structure: the EDP minimum
+    # improves on both table endpoints.
+    assert sweep.edp[sweep.resolve(MIN_EDP)] < sweep.edp[0]
+    assert sweep.edp[sweep.resolve(MIN_EDP)] < sweep.edp[-1] * (1 + 1e-9)

@@ -1,0 +1,77 @@
+"""Figure 5: ES_x and PL_x energy metrics for Black-Scholes (V100).
+
+Regenerates the frequency/energy/time landscape with the ES_25/50/75 and
+PL_25/50/75 selections (paper §5.2–5.3) and checks their defining
+monotonicity: larger x saves more energy at more performance cost.
+"""
+
+import numpy as np
+
+from repro.apps import get_benchmark
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_kernel
+from repro.hw.specs import NVIDIA_V100
+from repro.metrics.targets import (
+    ES_25,
+    ES_50,
+    ES_75,
+    ES_100,
+    PL_25,
+    PL_50,
+    PL_75,
+)
+
+
+def _resolve_levels():
+    sweep = sweep_kernel(NVIDIA_V100, get_benchmark("black_scholes").kernel)
+    rows = []
+    for target in (ES_25, ES_50, ES_75, ES_100, PL_25, PL_50, PL_75):
+        idx = sweep.resolve(target)
+        rows.append(
+            {
+                "target": target.name,
+                "core_mhz": float(sweep.freqs_mhz[idx]),
+                "energy_saving": 1.0 - float(sweep.normalized_energy[idx]),
+                "speedup": float(sweep.speedup[idx]),
+            }
+        )
+    return sweep, rows
+
+
+def test_fig5_es_pl_levels(benchmark):
+    sweep, rows = benchmark(_resolve_levels)
+    print()
+    print(
+        format_table(
+            ["target", "core MHz", "energy saving", "speedup"],
+            [[r["target"], r["core_mhz"], r["energy_saving"], r["speedup"]]
+             for r in rows],
+            title="Figure 5 - ES_x / PL_x selections for Black-Scholes (V100)",
+        )
+    )
+    by_name = {r["target"]: r for r in rows}
+
+    # ES_x: saving grows with x; ES_100 is the global minimum energy.
+    assert (
+        by_name["ES_25"]["energy_saving"]
+        <= by_name["ES_50"]["energy_saving"]
+        <= by_name["ES_75"]["energy_saving"]
+        <= by_name["ES_100"]["energy_saving"] + 1e-12
+    )
+    assert by_name["ES_100"]["energy_saving"] == (
+        1.0 - float(np.min(sweep.normalized_energy))
+    )
+    # PL_x: performance decreases (loss grows) with x, energy saving grows.
+    assert (
+        by_name["PL_25"]["speedup"]
+        >= by_name["PL_50"]["speedup"]
+        >= by_name["PL_75"]["speedup"]
+    )
+    assert (
+        by_name["PL_25"]["energy_saving"]
+        <= by_name["PL_50"]["energy_saving"]
+        <= by_name["PL_75"]["energy_saving"] + 1e-12
+    )
+    # Every selection saves energy vs the default baseline.
+    for r in rows:
+        assert r["energy_saving"] >= 0.0

@@ -1,0 +1,56 @@
+"""Figure 7: benchmark characterization on NVIDIA V100.
+
+The paper highlights four contrasting benchmarks; the bench regenerates the
+speedup/normalized-energy summary for the same four and checks Fig. 7's
+headline observations:
+
+- Matrix Multiplication: Pareto speedups confined to a narrow band around
+  1.0 with a large energy saving at ~5% loss (paper: 33% @ 5%),
+- Sobel3: wide Pareto speedup band (paper: 0.73–1.15),
+- the default configuration is not the fastest (speedups > 1 exist).
+"""
+
+from repro.apps import get_benchmark
+from repro.experiments.characterization import characterize
+from repro.experiments.report import format_table
+from repro.hw.specs import NVIDIA_V100
+
+FIG7_BENCHMARKS = ("gemm", "sobel3", "median", "black_scholes")
+
+
+def _characterize_all():
+    return {
+        name: characterize(NVIDIA_V100, get_benchmark(name).kernel)
+        for name in FIG7_BENCHMARKS
+    }
+
+
+def test_fig7_v100_characterization(benchmark):
+    results = benchmark(_characterize_all)
+    print()
+    print(
+        format_table(
+            ["benchmark", "pareto speedup min", "pareto speedup max",
+             "max saving", "loss @ max saving", "default on front"],
+            [
+                [n, c.pareto_speedup_min, c.pareto_speedup_max,
+                 c.max_energy_saving, c.loss_at_max_saving, c.default_is_pareto]
+                for n, c in results.items()
+            ],
+            title="Figure 7 - characterization on NVIDIA V100",
+        )
+    )
+
+    gemm = results["gemm"]
+    assert 0.90 < gemm.pareto_speedup_min
+    assert gemm.pareto_speedup_max < 1.05
+    assert gemm.max_energy_saving > 0.18
+    assert gemm.loss_at_max_saving < 0.08
+
+    sobel = results["sobel3"]
+    assert sobel.pareto_speedup_min < 0.80
+    assert sobel.pareto_speedup_max > 1.10
+    assert sobel.max_energy_saving > 0.20
+
+    # On V100 the default is not the best-performing configuration.
+    assert any(c.pareto_speedup_max > 1.0 for c in results.values())

@@ -1,0 +1,50 @@
+"""Figure 8: benchmark characterization on AMD MI100.
+
+Same analysis as Fig. 7 on the AMD board. The paper's central MI100
+observation: *the default configuration always brings the best performance*
+(the auto performance level runs at the top clock), so no configuration has
+speedup > 1, while energy savings remain available at lower levels.
+"""
+
+from repro.apps import get_benchmark
+from repro.experiments.characterization import characterize
+from repro.experiments.report import format_table
+from repro.hw.specs import AMD_MI100
+
+FIG8_BENCHMARKS = ("gemm", "sobel3", "median", "black_scholes")
+
+
+def _characterize_all():
+    return {
+        name: characterize(AMD_MI100, get_benchmark(name).kernel)
+        for name in FIG8_BENCHMARKS
+    }
+
+
+def test_fig8_mi100_characterization(benchmark):
+    results = benchmark(_characterize_all)
+    print()
+    print(
+        format_table(
+            ["benchmark", "pareto speedup min", "pareto speedup max",
+             "max saving", "loss @ max saving", "default on front"],
+            [
+                [n, c.pareto_speedup_min, c.pareto_speedup_max,
+                 c.max_energy_saving, c.loss_at_max_saving, c.default_is_pareto]
+                for n, c in results.items()
+            ],
+            title="Figure 8 - characterization on AMD MI100",
+        )
+    )
+
+    for name, c in results.items():
+        # Default == max clock: nothing is faster than the baseline.
+        assert c.pareto_speedup_max <= 1.0 + 1e-9, name
+        # The default configuration itself is Pareto-optimal (it is the
+        # fastest point).
+        assert c.default_is_pareto, name
+        # Energy savings still exist at lower performance levels.
+        assert c.max_energy_saving > 0.10, name
+
+    # Only 16 discrete configurations exist on the MI100 (Fig. 1).
+    assert all(len(c.sweep.freqs_mhz) == 16 for c in results.values())

@@ -1,0 +1,69 @@
+"""Figure 9: frequency-prediction APE per benchmark and ML algorithm.
+
+Runs the full §8.3 protocol — models trained on micro-benchmarks only,
+evaluated on all 23 unseen SYCL benchmarks — and prints the per-benchmark
+absolute percentage error of the objective value realized at the predicted
+frequency, for each objective/algorithm pairing the paper tested.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.accuracy import OBJECTIVE_ALGORITHMS, run_accuracy_analysis
+from repro.experiments.report import format_table
+from repro.hw.specs import NVIDIA_V100
+from repro.metrics.targets import TABLE2_OBJECTIVES
+
+
+@pytest.fixture(scope="module")
+def analysis(v100_bundles):
+    return run_accuracy_analysis(NVIDIA_V100, bundles=v100_bundles)
+
+
+def test_fig9_prediction_ape(benchmark, analysis):
+    def summarize():
+        tables = {}
+        for target in TABLE2_OBJECTIVES:
+            rows = []
+            algorithms = OBJECTIVE_ALGORITHMS[target.name]
+            benchmarks = sorted({r.benchmark for r in analysis.records})
+            for bench in benchmarks:
+                row = [bench]
+                for algorithm in algorithms:
+                    match = [
+                        r
+                        for r in analysis.for_cell(target.name, algorithm)
+                        if r.benchmark == bench
+                    ]
+                    row.append(match[0].ape if match else float("nan"))
+                rows.append(row)
+            tables[target.name] = (algorithms, rows)
+        return tables
+
+    tables = benchmark(summarize)
+    print()
+    for objective, (algorithms, rows) in tables.items():
+        print(
+            format_table(
+                ["benchmark", *[f"{a} APE" for a in algorithms]],
+                rows,
+                title=f"Figure 9 - APE for {objective}",
+            )
+        )
+        print()
+
+    # Every tested cell produced one record per benchmark.
+    for target in TABLE2_OBJECTIVES:
+        for algorithm in OBJECTIVE_ALGORITHMS[target.name]:
+            assert len(analysis.for_cell(target.name, algorithm)) == 23
+
+    # MAX_PERF with linear regression is essentially exact (paper: many
+    # zero-APE benchmarks, MAPE 0.001).
+    max_perf_lin = [r.ape for r in analysis.for_cell("MAX_PERF", "Linear")]
+    assert float(np.mean(max_perf_lin)) < 0.02
+
+    # Mean APE stays in the paper's observed range for every tested cell.
+    for target in TABLE2_OBJECTIVES:
+        for algorithm in OBJECTIVE_ALGORITHMS[target.name]:
+            apes = [r.ape for r in analysis.for_cell(target.name, algorithm)]
+            assert float(np.mean(apes)) < 0.25, (target.name, algorithm)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Model training is expensive (pure-Python random forests), so the trained
+bundles are session-scoped: Fig. 9, Table 2 and Fig. 10 share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import EnergyModelBundle
+from repro.experiments.training import (
+    ALGORITHM_NAMES,
+    microbench_training_set,
+    train_bundles,
+)
+from repro.hw.specs import NVIDIA_V100
+
+#: Training density used by the model-based benchmarks: every 8th clock of
+#: the V100 table, 32 random micro-benchmark mixes.
+FREQ_STRIDE = 8
+RANDOM_COUNT = 32
+
+
+@pytest.fixture(scope="session")
+def v100_training_set():
+    """The shared micro-benchmark training set on the V100 (§6.1)."""
+    return microbench_training_set(
+        NVIDIA_V100, freq_stride=FREQ_STRIDE, random_count=RANDOM_COUNT
+    )
+
+
+@pytest.fixture(scope="session")
+def v100_bundles(v100_training_set):
+    """One fitted single-family bundle per §8.3 algorithm."""
+    return train_bundles(
+        NVIDIA_V100, training=v100_training_set, algorithms=ALGORITHM_NAMES
+    )
+
+
+@pytest.fixture(scope="session")
+def v100_best_bundle(v100_training_set):
+    """The per-objective best models (Table 2 winners) used for Fig. 10."""
+    return EnergyModelBundle().fit(v100_training_set)

@@ -1,0 +1,107 @@
+"""Cluster-scale energy saving (paper §7-8.4) on a simulated Marconi-100.
+
+End to end:
+
+1. train the energy models on micro-benchmarks (deployment step 1, §3.2),
+2. compile CloverLeaf's timestep kernels into a per-kernel frequency plan,
+3. provision a cluster of IBM-Power9-like nodes with 4 restricted V100s
+   each, tagged with the ``nvgpufreq`` GRES,
+4. submit exclusive SLURM jobs (baseline + tuned); the nvgpufreq plugin's
+   prologue temporarily lowers the NVML clock privileges and its epilogue
+   restores a consistent performance state,
+5. report weak-scaling time/energy per target — the Fig. 10 experiment.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.apps import CloverLeaf
+from repro.core.compiler import SynergyCompiler
+from repro.core.models import EnergyModelBundle
+from repro.experiments.report import format_table
+from repro.experiments.training import microbench_training_set
+from repro.hw.specs import NVIDIA_V100
+from repro.metrics.targets import ES_50, MIN_EDP, PL_50
+from repro.mpi.launcher import launch_ranks
+from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
+from repro.slurm.job import JobSpec
+from repro.slurm.plugin import NvGpuFreqPlugin
+from repro.slurm.scheduler import Scheduler
+
+TARGETS = (MIN_EDP, ES_50, PL_50)
+GPU_COUNTS = (4, 8, 16)
+STEPS = 3
+
+
+def main() -> None:
+    print("training energy models on micro-benchmarks (one-off per device)...")
+    training = microbench_training_set(NVIDIA_V100, freq_stride=8, random_count=16)
+    bundle = EnergyModelBundle().fit(training)
+
+    app = CloverLeaf(steps=STEPS)
+    compiled = SynergyCompiler(bundle, NVIDIA_V100).compile(
+        list(app.timestep_kernels()), TARGETS
+    )
+    print(f"compiled {len(compiled.plan.kernel_names)} kernels x "
+          f"{len(TARGETS)} targets into a frequency plan")
+
+    rows = []
+    for n_gpus in GPU_COUNTS:
+        cluster = Cluster.build(
+            NVIDIA_V100,
+            n_nodes=n_gpus // 4,
+            gpus_per_node=4,
+            gres={NVGPUFREQ_GRES},
+        )
+        plugin = NvGpuFreqPlugin()
+        scheduler = Scheduler(cluster, plugins=[plugin])
+        baseline_energy = None
+        for target in (None, *TARGETS):
+            def payload(context, target=target):
+                comm = launch_ranks(context)
+                return CloverLeaf(steps=STEPS).run(
+                    comm, target=target, plan=compiled.plan
+                )
+
+            job = scheduler.submit(
+                JobSpec(
+                    name=f"clover-{n_gpus}g-{target.name if target else 'default'}",
+                    n_nodes=n_gpus // 4,
+                    exclusive=True,
+                    gres=frozenset({NVGPUFREQ_GRES}),
+                    payload=payload,
+                )
+            )
+            report = job.result
+            if target is None:
+                baseline_energy = report.gpu_energy_j
+            saving = 1.0 - report.gpu_energy_j / baseline_energy
+            rows.append(
+                [
+                    n_gpus,
+                    report.target_name,
+                    f"{report.elapsed_s:.3f}",
+                    f"{report.gpu_energy_j:.1f}",
+                    f"{saving:+.1%}",
+                    job.state.value,
+                ]
+            )
+        # After every job the plugin's epilogue restored the posture:
+        assert all(
+            gpu.api_restricted and gpu.core_mhz == NVIDIA_V100.default_core_mhz
+            for node in cluster.nodes
+            for gpu in node.gpus
+        )
+    print()
+    print(
+        format_table(
+            ["GPUs", "target", "time (s)", "GPU energy (J)",
+             "saving vs default", "job state"],
+            rows,
+            title="CloverLeaf weak scaling on the simulated cluster",
+        )
+    )
+    print("\nevery node ended restored: default clocks, privileges re-raised")
+
+
+if __name__ == "__main__":
+    main()

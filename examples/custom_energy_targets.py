@@ -1,0 +1,80 @@
+"""Exploring custom ES_x / PL_x tradeoffs (paper §5).
+
+Shows how a performance engineer would pick a per-kernel energy goal:
+sweep the whole ES/PL dial for one kernel, inspect the tradeoff ladder,
+then submit the kernel live with a predictor (no precompiled plan) at the
+chosen target.
+
+Run:  python examples/custom_energy_targets.py
+"""
+
+import numpy as np
+
+from repro import (
+    EnergyTarget,
+    NVIDIA_V100,
+    SimulatedGPU,
+    SynergyQueue,
+    set_default_device,
+)
+from repro.apps import get_benchmark
+from repro.core.models import EnergyModelBundle
+from repro.core.predictor import FrequencyPredictor
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_kernel
+from repro.experiments.training import microbench_training_set
+
+
+def main() -> None:
+    kernel = get_benchmark("black_scholes").kernel
+    sweep = sweep_kernel(NVIDIA_V100, kernel)
+
+    # The full ES/PL dial, resolved on measured data.
+    rows = []
+    for family in ("ES", "PL"):
+        for percent in (10, 25, 50, 75, 90, 100):
+            target = EnergyTarget.parse(f"{family}_{percent}")
+            idx = sweep.resolve(target)
+            rows.append(
+                [
+                    target.name,
+                    f"{sweep.freqs_mhz[idx]:.0f}",
+                    f"{1 - sweep.normalized_energy[idx]:+.1%}",
+                    f"{sweep.speedup[idx]:.3f}x",
+                ]
+            )
+    print(
+        format_table(
+            ["target", "core MHz", "energy saving", "speedup"],
+            rows,
+            title="Black-Scholes: the ES/PL tradeoff ladder (measured)",
+        )
+    )
+
+    # Live prediction path: no compiled plan, the queue asks the models.
+    print("\ntraining models for live target resolution ...")
+    bundle = EnergyModelBundle().fit(
+        microbench_training_set(NVIDIA_V100, freq_stride=8, random_count=16)
+    )
+    predictor = FrequencyPredictor(bundle, NVIDIA_V100)
+
+    gpu = SimulatedGPU(NVIDIA_V100)
+    set_default_device(gpu)
+    queue = SynergyQueue(predictor=predictor)
+
+    chosen = EnergyTarget.parse("ES_50")
+    event = queue.submit(
+        chosen, lambda h: h.parallel_for(kernel.work_items, kernel)
+    )
+    realized_idx = int(
+        np.argmin(np.abs(sweep.freqs_mhz - event.record.core_mhz))
+    )
+    print(f"\nsubmitted with {chosen.name}: executed at "
+          f"{event.record.core_mhz} MHz")
+    print(f"realized (measured-sweep) energy saving: "
+          f"{1 - sweep.normalized_energy[realized_idx]:+.1%} at "
+          f"{sweep.speedup[realized_idx]:.3f}x speed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Per-kernel energy characterization across vendors (paper §8.2).
+
+Sweeps a contrasting set of SYCL benchmarks over the full frequency tables
+of the NVIDIA V100 and the AMD MI100 and prints, per kernel, the Pareto
+front of the speedup/normalized-energy plane along with each energy
+target's selection — a text rendition of Figs. 2, 7 and 8.
+
+Run:  python examples/energy_characterization.py
+"""
+
+from repro.apps import get_benchmark
+from repro.experiments.characterization import characterize
+from repro.experiments.report import format_table
+from repro.hw.specs import AMD_MI100, NVIDIA_V100
+from repro.metrics.targets import ES_50, MIN_ED2P, MIN_EDP, MIN_ENERGY, PL_50
+
+BENCHMARKS = ("gemm", "sobel3", "median", "lin_reg_coeff", "black_scholes")
+TARGETS = (MIN_ENERGY, MIN_EDP, MIN_ED2P, ES_50, PL_50)
+
+
+def characterize_device(spec) -> None:
+    print(f"\n=== {spec.name}: {len(spec.core_freqs_mhz)} core configurations, "
+          f"default {spec.default_core_mhz} MHz ===")
+    summary = []
+    selections = []
+    for name in BENCHMARKS:
+        bench = get_benchmark(name)
+        result = characterize(spec, bench.kernel)
+        sweep = result.sweep
+        summary.append(
+            [
+                name,
+                bench.regime,
+                f"[{result.pareto_speedup_min:.2f}, "
+                f"{result.pareto_speedup_max:.2f}]",
+                f"{result.max_energy_saving:.1%}",
+                f"{result.loss_at_max_saving:.1%}",
+            ]
+        )
+        row = [name]
+        for target in TARGETS:
+            idx = sweep.resolve(target)
+            row.append(
+                f"{sweep.freqs_mhz[idx]:.0f} MHz "
+                f"({1 - sweep.normalized_energy[idx]:+.1%} E)"
+            )
+        selections.append(row)
+    print(format_table(
+        ["benchmark", "regime", "pareto speedup", "max saving", "loss @ max"],
+        summary,
+        title="Characterization summary",
+    ))
+    print()
+    print(format_table(
+        ["benchmark", *[t.name for t in TARGETS]],
+        selections,
+        title="Per-target frequency selections (measured sweeps)",
+    ))
+
+
+def main() -> None:
+    characterize_device(NVIDIA_V100)
+    characterize_device(AMD_MI100)
+    print("\nNote the paper's headline contrasts: on the V100 the default "
+          "clock is not the fastest (speedups > 1 exist) and memory-bound "
+          "kernels save >20% energy almost for free; on the MI100 the "
+          "default is always the best-performing configuration.")
+
+
+if __name__ == "__main__":
+    main()

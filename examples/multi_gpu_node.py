@@ -1,0 +1,71 @@
+"""Celerity-style multi-GPU execution on one node (paper §4).
+
+SYnergy's API is inspired by Celerity, which splits SYCL work across
+accelerators transparently. This example runs the same kernel on 1, 2 and
+4 V100 boards through :class:`MultiGpuSynergyQueue`, with and without a
+per-kernel energy target, and reports the time/energy scaling.
+
+Run:  python examples/multi_gpu_node.py
+"""
+
+from repro.common.clock import VirtualClock
+from repro.core.models import EnergyModelBundle
+from repro.core.multigpu import MultiGpuSynergyQueue
+from repro.core.predictor import FrequencyPredictor
+from repro.experiments.report import format_table
+from repro.experiments.training import microbench_training_set
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+from repro.metrics.targets import MIN_ENERGY
+
+KERNEL = KernelIR(
+    "stencil27",
+    InstructionMix(float_add=54, float_mul=54, gl_access=28),
+    work_items=1 << 26,
+    locality=0.6,
+)
+
+
+def main() -> None:
+    print("training models for the MIN_ENERGY target ...")
+    bundle = EnergyModelBundle().fit(
+        microbench_training_set(NVIDIA_V100, freq_stride=10, random_count=8)
+    )
+    predictor = FrequencyPredictor(bundle, NVIDIA_V100)
+
+    rows = []
+    for n_gpus in (1, 2, 4):
+        for target in (None, MIN_ENERGY):
+            gpus = [
+                SimulatedGPU(NVIDIA_V100, clock=VirtualClock())
+                for _ in range(n_gpus)
+            ]
+            queue = MultiGpuSynergyQueue(gpus, predictor=predictor)
+            devent = queue.parallel_for(KERNEL.work_items, KERNEL, target=target)
+            queue.wait()
+            rows.append(
+                [
+                    n_gpus,
+                    target.name if target else "default",
+                    f"{devent.time_s * 1e3:.2f}",
+                    f"{devent.energy_j:.2f}",
+                    devent.events[0].record.core_mhz,
+                ]
+            )
+            queue.reset_frequency()
+    print()
+    print(
+        format_table(
+            ["GPUs", "target", "kernel time (ms)", "energy (J)", "core MHz"],
+            rows,
+            title="27-point stencil split across boards",
+        )
+    )
+    print("\ntime scales ~1/N while total kernel energy stays ~flat; the "
+          "MIN_ENERGY target shaves energy at every width.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Quickstart: the SYnergy API on one simulated V100.
+
+Walks the paper's Listings 1-4:
+
+1. energy profiling of a kernel and of the whole device,
+2. a queue constructed with explicit (memory, core) clocks,
+3. a kernel submitted with an energy target (MIN_EDP), resolved by models
+   trained on micro-benchmarks,
+4. mixing queues and per-submission clock overrides.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    InstructionMix,
+    KernelIR,
+    MIN_EDP,
+    NVIDIA_V100,
+    SimulatedGPU,
+    SynergyCompiler,
+    SynergyQueue,
+    gpu_selector_v,
+    set_default_device,
+)
+from repro.core.models import EnergyModelBundle
+from repro.experiments.training import microbench_training_set
+from repro.sycl import Accessor, Buffer, read_only, write_only
+
+
+def main() -> None:
+    gpu = SimulatedGPU(NVIDIA_V100)
+    set_default_device(gpu)
+
+    # --- Listing 1: energy profiling -----------------------------------
+    q = SynergyQueue(gpu_selector_v)
+    n = 1 << 24
+    x = Buffer(np.linspace(0.0, 1.0, 1024, dtype=np.float32), name="x")
+    z = Buffer(shape=1024, name="z")
+    alpha = 2.5
+
+    def saxpy_host(views) -> None:
+        views["z"][:] = alpha * views["x"]
+
+    saxpy = KernelIR(
+        "saxpy",
+        InstructionMix(float_add=1, float_mul=1, gl_access=3),
+        work_items=n,
+        host_fn=saxpy_host,
+    )
+    event = q.submit(
+        lambda h: (
+            Accessor(x, h, read_only),
+            Accessor(z, h, write_only),
+            h.parallel_for(n, saxpy),
+        )[-1]
+    )
+    event.wait_and_throw()
+    kernel_energy = q.kernel_energy_consumption(event)
+    device_energy = q.device_energy_consumption()
+    print(f"[listing 1] saxpy ran {event.duration_s * 1e3:.3f} ms "
+          f"at {event.record.core_mhz} MHz")
+    print(f"[listing 1] kernel energy (sensor): {kernel_energy:.4f} J, "
+          f"device energy: {device_energy:.4f} J")
+    print(f"[listing 1] host result z[42] = {z.data[42]:.4f} "
+          f"(expected {alpha * x.data[42]:.4f})")
+
+    # Device-only variant for the later listings (no host buffers bound).
+    saxpy_device = KernelIR(
+        "saxpy_device",
+        InstructionMix(float_add=1, float_mul=1, gl_access=3),
+        work_items=n,
+    )
+
+    # --- Listing 2: explicit frequency configuration -------------------
+    low_core = NVIDIA_V100.core_freqs_mhz[60]
+    q_low = SynergyQueue(877, low_core, gpu_selector_v)
+    e_low = q_low.submit(lambda h: h.parallel_for(n, saxpy_device))
+    print(f"\n[listing 2] queue pinned to {low_core} MHz -> kernel ran at "
+          f"{e_low.record.core_mhz} MHz, drawing {e_low.record.avg_power_w:.1f} W "
+          f"(vs {event.record.avg_power_w:.1f} W at default)")
+
+    # --- Listing 3: per-kernel energy target ----------------------------
+    print("\n[listing 3] training energy models on micro-benchmarks ...")
+    training = microbench_training_set(NVIDIA_V100, freq_stride=12, random_count=8)
+    bundle = EnergyModelBundle().fit(training)
+    app = SynergyCompiler(bundle, NVIDIA_V100).compile([saxpy_device], [MIN_EDP])
+    mem, core = app.plan.lookup("saxpy_device", MIN_EDP)
+    q_target = SynergyQueue(gpu_selector_v, plan=app.plan)
+    e_target = q_target.submit(MIN_EDP, lambda h: h.parallel_for(n, saxpy_device))
+    print(f"[listing 3] MIN_EDP predicted clock: {core} MHz; kernel executed "
+          f"at {e_target.record.core_mhz} MHz, energy "
+          f"{q_target.kernel_energy_consumption(e_target, true_value=True):.4f} J")
+
+    # --- Listing 4: mixing queues and per-submission overrides ----------
+    q_default = SynergyQueue(gpu_selector_v)
+    e_override = q_default.submit(
+        877, NVIDIA_V100.max_core_mhz, lambda h: h.parallel_for(n, saxpy_device)
+    )
+    print(f"\n[listing 4] per-submission override ran at "
+          f"{e_override.record.core_mhz} MHz (table max "
+          f"{NVIDIA_V100.max_core_mhz} MHz)")
+    q_default.reset_frequency()
+    print(f"[listing 4] clocks restored to {gpu.core_mhz} MHz")
+
+
+if __name__ == "__main__":
+    main()

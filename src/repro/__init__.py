@@ -1,0 +1,108 @@
+"""SYnergy reproduction: fine-grained energy-efficient heterogeneous computing.
+
+A full-stack, simulation-backed reproduction of *SYnergy: Fine-grained
+Energy-Efficient Heterogeneous Computing for Scalable Energy Saving*
+(Fan et al., SC '23): the ``synergy::queue`` energy API over a mini-SYCL
+runtime, compiler feature extraction + ML frequency prediction, and a SLURM
+``nvgpufreq`` plugin — all running against analytic NVIDIA V100 / A100 and
+AMD MI100 DVFS models in deterministic virtual time.
+
+Quickstart::
+
+    from repro import (
+        SynergyQueue, SimulatedGPU, NVIDIA_V100, set_default_device,
+        gpu_selector_v, KernelIR, InstructionMix, MIN_EDP,
+    )
+
+    gpu = SimulatedGPU(NVIDIA_V100)
+    set_default_device(gpu)
+    q = SynergyQueue(gpu_selector_v)
+    k = KernelIR("saxpy", InstructionMix(float_add=1, float_mul=1,
+                                         gl_access=3), work_items=1 << 24)
+    e = q.submit(lambda h: h.parallel_for(k.work_items, k))
+    e.wait_and_throw()
+    print(q.kernel_energy_consumption(e), "J")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-reproduction results.
+"""
+
+from repro.core import (
+    CompiledApplication,
+    EnergyModelBundle,
+    FrequencyPlan,
+    FrequencyPredictor,
+    SynergyCompiler,
+    SynergyQueue,
+    build_training_set,
+)
+from repro.hw import (
+    AMD_MI100,
+    GPUSpec,
+    NVIDIA_A100,
+    NVIDIA_V100,
+    SimulatedGPU,
+    get_spec,
+)
+from repro.kernelir import InstructionMix, KernelIR, extract_features
+from repro.metrics import (
+    ES_25,
+    ES_50,
+    ES_75,
+    ES_100,
+    EnergyTarget,
+    MAX_PERF,
+    MIN_ED2P,
+    MIN_EDP,
+    MIN_ENERGY,
+    PL_25,
+    PL_50,
+    PL_75,
+)
+from repro.sycl import (
+    Buffer,
+    gpu_selector_v,
+    set_default_device,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # hardware
+    "GPUSpec",
+    "NVIDIA_V100",
+    "NVIDIA_A100",
+    "AMD_MI100",
+    "SimulatedGPU",
+    "get_spec",
+    # kernels
+    "KernelIR",
+    "InstructionMix",
+    "extract_features",
+    # SYCL surface
+    "Buffer",
+    "gpu_selector_v",
+    "set_default_device",
+    # SYnergy core
+    "SynergyQueue",
+    "SynergyCompiler",
+    "CompiledApplication",
+    "FrequencyPlan",
+    "FrequencyPredictor",
+    "EnergyModelBundle",
+    "build_training_set",
+    # targets
+    "EnergyTarget",
+    "MAX_PERF",
+    "MIN_ENERGY",
+    "MIN_EDP",
+    "MIN_ED2P",
+    "ES_25",
+    "ES_50",
+    "ES_75",
+    "ES_100",
+    "PL_25",
+    "PL_50",
+    "PL_75",
+]

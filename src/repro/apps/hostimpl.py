@@ -1,0 +1,143 @@
+"""Host-side reference implementations for selected benchmarks.
+
+The benchmark suite models kernels by instruction mix; for end-to-end
+examples and numeric validation, this module pairs a few of them with real
+NumPy computations. Each factory returns ``(KernelIR, buffers)``: submit
+the kernel with accessors over the returned buffers and the host function
+performs the actual math while the simulated GPU accounts time/energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.apps.syclbench import get_benchmark
+from repro.common.errors import ValidationError
+from repro.common.rng import make_rng
+from repro.kernelir.kernel import KernelIR
+from repro.sycl.buffer import Buffer
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (vectorized)."""
+    from scipy.special import erf
+
+    return 0.5 * (1.0 + erf(x / np.sqrt(2.0)))
+
+
+def black_scholes_app(
+    n_options: int = 4096, seed: int = 0
+) -> tuple[KernelIR, dict[str, Buffer]]:
+    """European call/put pricing over ``n_options`` random option sets.
+
+    Buffers: ``spot, strike, tte, call, put`` (rate/volatility fixed).
+    """
+    if n_options < 1:
+        raise ValidationError("need at least one option")
+    rng = make_rng(seed)
+    buffers = {
+        "spot": Buffer(rng.uniform(5.0, 30.0, n_options).astype(np.float64),
+                       name="spot"),
+        "strike": Buffer(rng.uniform(1.0, 100.0, n_options).astype(np.float64),
+                         name="strike"),
+        "tte": Buffer(rng.uniform(0.25, 10.0, n_options).astype(np.float64),
+                      name="tte"),
+        "call": Buffer(shape=n_options, dtype=np.float64, name="call"),
+        "put": Buffer(shape=n_options, dtype=np.float64, name="put"),
+    }
+    riskfree, volatility = 0.02, 0.30
+
+    def host(views) -> None:
+        s, k, t = views["spot"], views["strike"], views["tte"]
+        sqrt_t = np.sqrt(t)
+        d1 = (np.log(s / k) + (riskfree + 0.5 * volatility**2) * t) / (
+            volatility * sqrt_t
+        )
+        d2 = d1 - volatility * sqrt_t
+        discount = k * np.exp(-riskfree * t)
+        views["call"][:] = s * _norm_cdf(d1) - discount * _norm_cdf(d2)
+        views["put"][:] = discount * _norm_cdf(-d2) - s * _norm_cdf(-d1)
+
+    template = get_benchmark("black_scholes").kernel
+    kernel = dataclasses.replace(
+        template.with_work_items(n_options), host_fn=host
+    )
+    return kernel, buffers
+
+
+def sobel3_app(
+    height: int = 128, width: int = 128, seed: int = 0
+) -> tuple[KernelIR, dict[str, Buffer]]:
+    """3x3 Sobel gradient magnitude over a random grayscale image.
+
+    Buffers: ``image`` (input), ``edges`` (output, zero border).
+    """
+    if height < 3 or width < 3:
+        raise ValidationError("image must be at least 3x3")
+    rng = make_rng(seed)
+    buffers = {
+        "image": Buffer(rng.uniform(0.0, 1.0, (height, width)), name="image"),
+        "edges": Buffer(shape=(height, width), dtype=np.float64, name="edges"),
+    }
+
+    def host(views) -> None:
+        img = views["image"]
+        gx = (
+            img[:-2, 2:] + 2 * img[1:-1, 2:] + img[2:, 2:]
+            - img[:-2, :-2] - 2 * img[1:-1, :-2] - img[2:, :-2]
+        )
+        gy = (
+            img[2:, :-2] + 2 * img[2:, 1:-1] + img[2:, 2:]
+            - img[:-2, :-2] - 2 * img[:-2, 1:-1] - img[:-2, 2:]
+        )
+        out = views["edges"]
+        out[:] = 0.0
+        out[1:-1, 1:-1] = np.sqrt(gx**2 + gy**2)
+
+    template = get_benchmark("sobel3").kernel
+    kernel = dataclasses.replace(
+        template.with_work_items(height * width), host_fn=host
+    )
+    return kernel, buffers
+
+
+def median_app(
+    height: int = 64, width: int = 64, seed: int = 0
+) -> tuple[KernelIR, dict[str, Buffer]]:
+    """3x3 median filter over a salt-and-pepper-noised image.
+
+    Buffers: ``noisy`` (input), ``filtered`` (output, border copied).
+    """
+    if height < 3 or width < 3:
+        raise ValidationError("image must be at least 3x3")
+    rng = make_rng(seed)
+    image = rng.uniform(0.3, 0.7, (height, width))
+    speckle = rng.random((height, width))
+    image[speckle < 0.05] = 0.0
+    image[speckle > 0.95] = 1.0
+    buffers = {
+        "noisy": Buffer(image, name="noisy"),
+        "filtered": Buffer(shape=(height, width), dtype=np.float64,
+                           name="filtered"),
+    }
+
+    def host(views) -> None:
+        img = views["noisy"]
+        stacked = np.stack(
+            [
+                img[i : i + height - 2, j : j + width - 2]
+                for i in range(3)
+                for j in range(3)
+            ]
+        )
+        out = views["filtered"]
+        out[:] = img
+        out[1:-1, 1:-1] = np.median(stacked, axis=0)
+
+    template = get_benchmark("median").kernel
+    kernel = dataclasses.replace(
+        template.with_work_items(height * width), host_fn=host
+    )
+    return kernel, buffers

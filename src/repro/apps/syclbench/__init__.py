@@ -1,0 +1,10 @@
+"""The SYCL benchmark suite (23 applications, §8.1)."""
+
+from repro.apps.syclbench.definitions import (
+    BENCHMARK_NAMES,
+    SyclBenchmark,
+    get_benchmark,
+    iter_benchmarks,
+)
+
+__all__ = ["SyclBenchmark", "BENCHMARK_NAMES", "get_benchmark", "iter_benchmarks"]

@@ -1,0 +1,333 @@
+"""Instruction-mix models of the 23 SYCL benchmarks (paper §8.1–8.2).
+
+Each benchmark is a single device kernel described by effective per-work-item
+dynamic instruction counts (loop trip counts resolved — what the paper's
+compiler pass sees after its static analysis), a launch size and a locality
+factor. The mixes are literature-informed and chosen so each benchmark lands
+in the energy-characterization regime the paper measured:
+
+- *compute-bound* kernels (``lin_reg_coeff``, ``nbody``, ``sobel7``, ...)
+  are core-frequency sensitive: little energy headroom, low clocks are very
+  inefficient (Fig. 2a),
+- *memory-bound* kernels (``median``, ``vec_add``, ``gemm`` as measured on
+  V100, ...) barely lose performance when the core clock drops until the
+  bandwidth knee, so they save a lot of energy (Fig. 2b),
+- ``black_scholes`` sits in between, giving the rich EDP/ES/PL structure of
+  Figs. 4–5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+
+@dataclass(frozen=True)
+class SyclBenchmark:
+    """One benchmark: its kernel model plus provenance notes."""
+
+    name: str
+    kernel: KernelIR
+    description: str
+    regime: str  # "compute", "memory" or "balanced" (expected on V100)
+
+
+def _k(name: str, mix: InstructionMix, work_items: int, locality: float) -> KernelIR:
+    return KernelIR(name=name, mix=mix, work_items=work_items, locality=locality)
+
+
+_DEF = 1 << 24  # default launch size (16 Mi work-items)
+
+_BENCHMARKS: tuple[SyclBenchmark, ...] = (
+    SyclBenchmark(
+        "vec_add",
+        _k("vec_add", InstructionMix(float_add=1, gl_access=3), _DEF * 4, 0.0),
+        "Streaming vector addition c = a + b.",
+        "memory",
+    ),
+    SyclBenchmark(
+        "dram",
+        _k("dram", InstructionMix(int_add=1, gl_access=2), _DEF * 4, 0.0),
+        "DRAM bandwidth microbenchmark (copy stream).",
+        "memory",
+    ),
+    SyclBenchmark(
+        "scalar_prod",
+        _k(
+            "scalar_prod",
+            InstructionMix(float_add=2, float_mul=1, gl_access=2, loc_access=4),
+            _DEF * 2,
+            0.1,
+        ),
+        "Dot product with tree reduction in local memory.",
+        "memory",
+    ),
+    SyclBenchmark(
+        "median",
+        _k(
+            "median",
+            InstructionMix(float_add=20, int_add=6, gl_access=10, loc_access=2),
+            _DEF,
+            0.35,
+        ),
+        "3x3 median filter (sorting network on the neighbourhood).",
+        "memory",
+    ),
+    SyclBenchmark(
+        "gemm",
+        _k(
+            "gemm",
+            InstructionMix(float_add=256, float_mul=256, int_add=16, gl_access=130),
+            _DEF // 8,
+            0.45,
+        ),
+        "Dense matrix multiply, tiled; bandwidth-limited as measured on V100.",
+        "memory",
+    ),
+    SyclBenchmark(
+        "matmulchain",
+        _k(
+            "matmulchain",
+            InstructionMix(float_add=192, float_mul=192, int_add=24, gl_access=100),
+            _DEF // 8,
+            0.45,
+        ),
+        "Chained matrix products A·B·C·D.",
+        "memory",
+    ),
+    SyclBenchmark(
+        "sobel3",
+        _k(
+            "sobel3",
+            InstructionMix(
+                float_add=33, float_mul=36, sf=2, int_add=8, gl_access=12
+            ),
+            _DEF,
+            0.88,
+        ),
+        "3x3 Sobel edge detection on RGB (per-channel convolutions).",
+        "compute",
+    ),
+    SyclBenchmark(
+        "sobel5",
+        _k(
+            "sobel5",
+            InstructionMix(
+                float_add=78, float_mul=84, sf=2, int_add=12, gl_access=28
+            ),
+            _DEF,
+            0.90,
+        ),
+        "5x5 Sobel edge detection on RGB.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "sobel7",
+        _k(
+            "sobel7",
+            InstructionMix(
+                float_add=150, float_mul=160, sf=2, int_add=16, gl_access=52
+            ),
+            _DEF,
+            0.92,
+        ),
+        "7x7 Sobel edge detection on RGB.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "lin_reg_coeff",
+        _k(
+            "lin_reg_coeff",
+            InstructionMix(
+                float_add=8, float_mul=8, float_div=20, sf=20, gl_access=4,
+                loc_access=4,
+            ),
+            _DEF,
+            0.55,
+        ),
+        "Linear regression coefficient fit (the Fig. 2a kernel): "
+        "divider/SFU-bound, little energy headroom.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "lin_reg_error",
+        _k(
+            "lin_reg_error",
+            InstructionMix(
+                float_add=6, float_mul=6, float_div=10, sf=12, gl_access=4,
+                loc_access=2,
+            ),
+            _DEF,
+            0.45,
+        ),
+        "Linear regression error evaluation.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "kmeans",
+        _k(
+            "kmeans",
+            InstructionMix(
+                float_add=40, float_mul=36, int_add=12, gl_access=10, loc_access=6
+            ),
+            _DEF,
+            0.60,
+        ),
+        "K-means assignment step (distance to K centroids).",
+        "balanced",
+    ),
+    SyclBenchmark(
+        "mol_dyn",
+        _k(
+            "mol_dyn",
+            InstructionMix(
+                float_add=90, float_mul=100, float_div=8, sf=6, gl_access=16
+            ),
+            _DEF // 2,
+            0.75,
+        ),
+        "Molecular dynamics neighbour-list force kernel.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "nbody",
+        _k(
+            "nbody",
+            InstructionMix(
+                float_add=300, float_mul=320, float_div=16, sf=32, gl_access=16
+            ),
+            _DEF // 8,
+            0.80,
+        ),
+        "All-pairs N-body force accumulation.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "black_scholes",
+        _k(
+            "black_scholes",
+            InstructionMix(
+                float_add=18, float_mul=24, float_div=6, sf=14, gl_access=6
+            ),
+            _DEF,
+            0.30,
+        ),
+        "Black-Scholes European option pricing (the Figs. 4-5 kernel).",
+        "balanced",
+    ),
+    SyclBenchmark(
+        "sf",
+        _k(
+            "sf",
+            InstructionMix(float_mul=4, sf=48, gl_access=2),
+            _DEF,
+            0.0,
+        ),
+        "Special-function throughput microbenchmark.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "arith",
+        _k(
+            "arith",
+            InstructionMix(
+                int_add=40, int_mul=24, int_bw=24, float_add=40, float_mul=40,
+                gl_access=2,
+            ),
+            _DEF,
+            0.0,
+        ),
+        "Mixed-arithmetic throughput microbenchmark.",
+        "compute",
+    ),
+    SyclBenchmark(
+        "conv2d",
+        _k(
+            "conv2d",
+            InstructionMix(float_add=25, float_mul=25, int_add=10, gl_access=27),
+            _DEF,
+            0.72,
+        ),
+        "2-D convolution with a 5x5 kernel.",
+        "balanced",
+    ),
+    SyclBenchmark(
+        "atax",
+        _k(
+            "atax",
+            InstructionMix(float_add=64, float_mul=64, gl_access=66),
+            _DEF // 4,
+            0.55,
+        ),
+        "PolyBench ATAX: y = Aᵀ(Ax).",
+        "memory",
+    ),
+    SyclBenchmark(
+        "bicg",
+        _k(
+            "bicg",
+            InstructionMix(float_add=64, float_mul=64, gl_access=68),
+            _DEF // 4,
+            0.50,
+        ),
+        "PolyBench BiCG sub-kernels.",
+        "memory",
+    ),
+    SyclBenchmark(
+        "mvt",
+        _k(
+            "mvt",
+            InstructionMix(float_add=48, float_mul=48, gl_access=52),
+            _DEF // 4,
+            0.50,
+        ),
+        "PolyBench MVT: matrix-vector product and transpose product.",
+        "memory",
+    ),
+    SyclBenchmark(
+        "syrk",
+        _k(
+            "syrk",
+            InstructionMix(float_add=128, float_mul=132, gl_access=70),
+            _DEF // 8,
+            0.80,
+        ),
+        "PolyBench SYRK symmetric rank-k update.",
+        "balanced",
+    ),
+    SyclBenchmark(
+        "gesummv",
+        _k(
+            "gesummv",
+            InstructionMix(float_add=66, float_mul=70, gl_access=70),
+            _DEF // 4,
+            0.45,
+        ),
+        "PolyBench GESUMMV: scalar-matrix-vector sum.",
+        "memory",
+    ),
+)
+
+#: Benchmark names in canonical order.
+BENCHMARK_NAMES: tuple[str, ...] = tuple(b.name for b in _BENCHMARKS)
+
+_BY_NAME = {b.name: b for b in _BENCHMARKS}
+
+assert len(_BY_NAME) == 23, "the paper evaluates exactly 23 benchmarks"
+
+
+def get_benchmark(name: str) -> SyclBenchmark:
+    """Look a benchmark up by name."""
+    if name not in _BY_NAME:
+        raise ConfigurationError(
+            f"unknown SYCL benchmark {name!r}; known: {list(BENCHMARK_NAMES)}"
+        )
+    return _BY_NAME[name]
+
+
+def iter_benchmarks() -> tuple[SyclBenchmark, ...]:
+    """All 23 benchmarks in canonical order."""
+    return _BENCHMARKS

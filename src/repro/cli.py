@@ -1,0 +1,349 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the ``repro-synergy`` entry point)
+exposes the deployment and analysis workflows:
+
+- ``devices`` — the Figure 1 frequency inventory,
+- ``characterize`` — per-kernel Pareto summary on a device (Figs. 2/7/8),
+- ``sweep`` — per-target frequency selections for one benchmark,
+- ``train`` — fit the §6.1 models on micro-benchmarks and save the bundle,
+- ``compile`` — per-kernel frequency plan for a set of benchmarks,
+- ``accuracy`` — the Table 2 error analysis,
+- ``scaling`` — the Fig. 10 weak-scaling experiment,
+- ``fine-vs-coarse`` — the §2.2 tuning-granularity comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps import BENCHMARK_NAMES, CloverLeaf, MiniWeather, get_benchmark
+from repro.core.compiler import SynergyCompiler
+from repro.core.models import EnergyModelBundle
+from repro.core.persistence import load_bundle, save_bundle
+from repro.experiments.accuracy import run_accuracy_analysis
+from repro.experiments.characterization import characterize, fine_vs_coarse
+from repro.experiments.export import (
+    accuracy_to_dict,
+    characterization_to_dict,
+    scaling_to_dict,
+    write_json,
+)
+from repro.experiments.report import format_table
+from repro.experiments.scaling import run_scaling_experiment
+from repro.experiments.sweep import sweep_kernel
+from repro.experiments.training import (
+    ALGORITHM_NAMES,
+    make_bundle,
+    microbench_training_set,
+    train_bundles,
+)
+from repro.hw.specs import get_spec, known_devices
+from repro.metrics.targets import EnergyTarget
+
+
+def _parse_targets(names: Sequence[str]) -> list[EnergyTarget]:
+    return [EnergyTarget.parse(n) for n in names]
+
+
+# ------------------------------------------------------------------ commands
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    rows = []
+    for name in known_devices():
+        spec = get_spec(name)
+        rows.append(
+            [
+                name,
+                spec.name,
+                len(spec.core_freqs_mhz),
+                f"{spec.min_core_mhz}-{spec.max_core_mhz}",
+                spec.mem_freqs_mhz[0],
+                spec.default_core_mhz,
+            ]
+        )
+    print(
+        format_table(
+            ["id", "device", "#core configs", "core range (MHz)", "mem (MHz)",
+             "default (MHz)"],
+            rows,
+            title="Known devices (Figure 1)",
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    names = args.benchmarks if args.benchmarks else list(BENCHMARK_NAMES)
+    rows = []
+    exported = {}
+    for name in names:
+        c = characterize(spec, get_benchmark(name).kernel)
+        exported[name] = characterization_to_dict(c)
+        rows.append(
+            [
+                name,
+                f"[{c.pareto_speedup_min:.3f}, {c.pareto_speedup_max:.3f}]",
+                f"{c.max_energy_saving:.1%}",
+                f"{c.loss_at_max_saving:.1%}",
+                c.default_is_pareto,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "pareto speedup", "max saving", "loss @ max",
+             "default on front"],
+            rows,
+            title=f"Characterization on {spec.name}",
+        )
+    )
+    if args.json:
+        write_json({"kind": "characterization_set", "device": spec.name,
+                    "benchmarks": exported}, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    sweep = sweep_kernel(spec, get_benchmark(args.benchmark).kernel)
+    rows = []
+    for target in _parse_targets(args.targets):
+        idx = sweep.resolve(target)
+        rows.append(
+            [
+                target.name,
+                f"{sweep.freqs_mhz[idx]:.0f}",
+                f"{1 - sweep.normalized_energy[idx]:+.2%}",
+                f"{sweep.speedup[idx]:.3f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["target", "core MHz", "energy saving", "speedup"],
+            rows,
+            title=f"{args.benchmark} on {spec.name} (measured sweep)",
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    print(
+        f"training on micro-benchmarks: device={spec.name} "
+        f"stride={args.stride} random={args.random_count} "
+        f"algorithm={args.algorithm}",
+        file=sys.stderr,
+    )
+    training = microbench_training_set(
+        spec, freq_stride=args.stride, random_count=args.random_count
+    )
+    if args.algorithm == "best":
+        bundle = EnergyModelBundle().fit(training)
+    else:
+        bundle = make_bundle(args.algorithm).fit(training)
+    path = save_bundle(bundle, args.out)
+    print(f"saved bundle ({training.n_samples} training rows) to {path}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    bundle = load_bundle(args.bundle)
+    kernels = [get_benchmark(n).kernel for n in args.benchmarks]
+    targets = _parse_targets(args.targets)
+    app = SynergyCompiler(bundle, spec).compile(kernels, targets)
+    rows = [
+        [kernel, target, f"{mem}", f"{core}"]
+        for (kernel, target), (mem, core) in sorted(app.plan.entries.items())
+    ]
+    print(
+        format_table(
+            ["kernel", "target", "mem MHz", "core MHz"],
+            rows,
+            title=f"Frequency plan for {spec.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    print(
+        f"training {len(args.algorithms)} model families on {spec.name} "
+        "micro-benchmarks ...",
+        file=sys.stderr,
+    )
+    training = microbench_training_set(
+        spec, freq_stride=args.stride, random_count=args.random_count
+    )
+    bundles = train_bundles(spec, training=training, algorithms=args.algorithms)
+    analysis = run_accuracy_analysis(spec, bundles=bundles)
+    if args.json:
+        write_json(accuracy_to_dict(analysis), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    headers = ["objective"]
+    for algorithm in args.algorithms:
+        headers += [f"{algorithm} RMSE", f"{algorithm} MAPE"]
+    headers.append("best")
+    rows = []
+    for row in analysis.table2():
+        cells = [row["objective"]]
+        for algorithm in args.algorithms:
+            rmse = row[f"{algorithm}_rmse"]
+            mape = row[f"{algorithm}_mape"]
+            cells += [
+                "-" if rmse != rmse else f"{rmse:.4g}",
+                "-" if mape != mape else f"{mape:.4g}",
+            ]
+        cells.append(row["best"])
+        rows.append(cells)
+    print(format_table(headers, rows, title="Table 2 - error analysis"))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    factory = {
+        "cloverleaf": lambda: CloverLeaf(steps=args.steps),
+        "miniweather": lambda: MiniWeather(steps=args.steps),
+    }[args.app]
+    bundle = load_bundle(args.bundle) if args.bundle else None
+    if bundle is None:
+        print("no --bundle given; training default models ...", file=sys.stderr)
+    result = run_scaling_experiment(
+        factory,
+        gpu_counts=tuple(args.gpus),
+        targets=_parse_targets(args.targets),
+        bundle=bundle,
+    )
+    if args.json:
+        write_json(scaling_to_dict(result), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    rows = [
+        [
+            p.n_gpus,
+            p.target_name,
+            f"{p.elapsed_s:.4f}",
+            f"{p.gpu_energy_j:.1f}",
+            f"{p.energy_saving_vs(result.baseline(p.n_gpus)):+.2%}",
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["GPUs", "target", "time (s)", "GPU energy (J)", "saving"],
+            rows,
+            title=f"{args.app} weak scaling (Figure 10)",
+        )
+    )
+    return 0
+
+
+def _cmd_fine_vs_coarse(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    kernels = [
+        get_benchmark(n).kernel.with_name(f"{n}#{i}")
+        for i, n in enumerate(args.benchmarks)
+    ]
+    target = EnergyTarget.parse(args.target)
+    result = fine_vs_coarse(spec, kernels, target)
+    print(
+        format_table(
+            ["granularity", "energy (J)", "time (s)"],
+            [
+                ["coarse (best single f)", result.coarse_energy_j,
+                 result.coarse_time_s],
+                ["fine (per-kernel)", result.fine_energy_j, result.fine_time_s],
+            ],
+            title=f"{target.name} on {spec.name}: "
+            f"fine-grained advantage {result.fine_advantage:+.2%}",
+        )
+    )
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-synergy",
+        description="SYnergy (SC'23) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list known GPU models").set_defaults(
+        fn=_cmd_devices
+    )
+
+    p = sub.add_parser("characterize", help="per-kernel Pareto summary")
+    p.add_argument("--device", default="v100", choices=known_devices())
+    p.add_argument("--benchmarks", nargs="*", default=None,
+                   help="benchmark names (default: all 23)")
+    p.add_argument("--json", default=None, help="export results to a JSON file")
+    p.set_defaults(fn=_cmd_characterize)
+
+    p = sub.add_parser("sweep", help="per-target selections for one benchmark")
+    p.add_argument("--device", default="v100", choices=known_devices())
+    p.add_argument("--benchmark", required=True)
+    p.add_argument("--targets", nargs="+",
+                   default=["MIN_ENERGY", "MIN_EDP", "MIN_ED2P", "ES_50", "PL_50"])
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("train", help="train energy models, save the bundle")
+    p.add_argument("--device", default="v100", choices=known_devices())
+    p.add_argument("--out", required=True, help="output bundle JSON path")
+    p.add_argument("--stride", type=int, default=4,
+                   help="frequency-table stride for the training sweep")
+    p.add_argument("--random-count", type=int, default=24)
+    p.add_argument("--algorithm", default="best",
+                   choices=("best", *ALGORITHM_NAMES))
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("compile", help="emit a per-kernel frequency plan")
+    p.add_argument("--device", default="v100", choices=known_devices())
+    p.add_argument("--bundle", required=True, help="trained bundle JSON path")
+    p.add_argument("--benchmarks", nargs="+", required=True)
+    p.add_argument("--targets", nargs="+", default=["MIN_EDP"])
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("accuracy", help="the Table 2 error analysis")
+    p.add_argument("--device", default="v100", choices=known_devices())
+    p.add_argument("--algorithms", nargs="+", default=list(ALGORITHM_NAMES),
+                   choices=ALGORITHM_NAMES)
+    p.add_argument("--stride", type=int, default=8)
+    p.add_argument("--random-count", type=int, default=24)
+    p.add_argument("--json", default=None, help="export results to a JSON file")
+    p.set_defaults(fn=_cmd_accuracy)
+
+    p = sub.add_parser("scaling", help="the Fig. 10 weak-scaling experiment")
+    p.add_argument("--app", default="cloverleaf",
+                   choices=("cloverleaf", "miniweather"))
+    p.add_argument("--gpus", nargs="+", type=int, default=[4, 8, 16])
+    p.add_argument("--targets", nargs="+", default=["MIN_EDP", "ES_50", "PL_50"])
+    p.add_argument("--steps", type=int, default=4)
+    p.add_argument("--bundle", default=None, help="trained bundle JSON path")
+    p.add_argument("--json", default=None, help="export results to a JSON file")
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("fine-vs-coarse", help="tuning-granularity comparison")
+    p.add_argument("--device", default="v100", choices=known_devices())
+    p.add_argument("--benchmarks", nargs="+", required=True)
+    p.add_argument("--target", default="MIN_ENERGY")
+    p.set_defaults(fn=_cmd_fine_vs_coarse)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Virtual simulation time.
+
+The simulated SYCL runtime, GPUs, MPI network and SLURM scheduler all share a
+:class:`VirtualClock`. Time only moves forward when a component *advances* it
+(e.g. a kernel completing, a message being delivered); nothing in the stack
+sleeps on the wall clock, which keeps multi-node experiments fast and
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulation clock (seconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time.
+
+        Raises :class:`SimulationError` on negative deltas — a negative
+        advance always indicates a bug in a caller's time accounting.
+        """
+        if delta < 0.0:
+            raise SimulationError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += float(delta)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Advancing to a time in the past raises :class:`SimulationError`;
+        advancing to the current time is a no-op (idempotent joins are
+        common when several events complete simultaneously).
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now!r}, target={timestamp!r}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

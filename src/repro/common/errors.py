@@ -1,0 +1,29 @@
+"""Exception hierarchy shared across the reproduction stack."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured inconsistently.
+
+    Examples: an unknown GPU model name, a frequency outside the device's
+    supported table, a SLURM job requesting more GPUs than a node has.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when user-provided data fails validation.
+
+    Examples: a feature vector with negative instruction counts, an energy
+    target percentage outside ``[0, 100]``.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the virtual-time simulation reaches an invalid state.
+
+    Examples: waiting on an event that can never complete, observing the
+    clock move backwards.
+    """

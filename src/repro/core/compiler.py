@@ -1,0 +1,105 @@
+"""The SYnergy compile-time pipeline (paper §3.1).
+
+In the real system a SYCL toolchain pass extracts static features from each
+kernel, runs model inference for the kernel's annotated energy target, and
+makes the predicted frequency configuration available to the runtime
+library. :class:`SynergyCompiler` performs the same steps over
+:class:`~repro.kernelir.kernel.KernelIR` kernels and emits a
+:class:`FrequencyPlan` — the table a compiled, energy-aware binary carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.core.models import EnergyModelBundle
+from repro.core.predictor import FrequencyPredictor
+from repro.hw.specs import GPUSpec
+from repro.kernelir.features import extract_features
+from repro.kernelir.kernel import KernelIR
+from repro.metrics.targets import EnergyTarget
+
+
+@dataclass(frozen=True)
+class FrequencyPlan:
+    """Per-kernel, per-target clock assignments embedded at compile time.
+
+    ``entries`` maps ``(kernel_name, target_name)`` to ``(mem_mhz,
+    core_mhz)``. The plan is immutable once compiled — changing targets
+    means recompiling, exactly as in the paper.
+    """
+
+    device_name: str
+    entries: Mapping[tuple[str, str], tuple[int, int]]
+
+    def lookup(self, kernel_name: str, target: EnergyTarget) -> tuple[int, int]:
+        """Clock pair for a kernel/target; raises if not in the plan."""
+        key = (kernel_name, target.name)
+        if key not in self.entries:
+            raise ConfigurationError(
+                f"no compiled frequency for kernel {kernel_name!r} with "
+                f"target {target.name}; recompile with this target"
+            )
+        return self.entries[key]
+
+    def has(self, kernel_name: str, target: EnergyTarget) -> bool:
+        """Whether the plan covers a kernel/target pair."""
+        return (kernel_name, target.name) in self.entries
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        """Kernels covered by this plan."""
+        return tuple(sorted({k for k, _ in self.entries}))
+
+
+@dataclass(frozen=True)
+class CompiledApplication:
+    """An energy-aware application: kernels plus their frequency plan."""
+
+    kernels: tuple[KernelIR, ...]
+    plan: FrequencyPlan
+    feature_vectors: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+
+
+class SynergyCompiler:
+    """Feature extraction + model inference over a set of kernels."""
+
+    def __init__(self, bundle: EnergyModelBundle, spec: GPUSpec) -> None:
+        if bundle.models_ is None:
+            raise ConfigurationError(
+                "compiler needs a fitted EnergyModelBundle (run training first)"
+            )
+        self.spec = spec
+        self.predictor = FrequencyPredictor(bundle, spec)
+
+    def compile(
+        self,
+        kernels: Sequence[KernelIR],
+        targets: Iterable[EnergyTarget],
+    ) -> CompiledApplication:
+        """Produce the frequency plan for every (kernel, target) pair.
+
+        Duplicate kernel names are rejected: the plan is keyed by name, as
+        the runtime identifies kernels by their mangled symbol.
+        """
+        names = [k.name for k in kernels]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate kernel names in application: {dupes}")
+        target_list = list(targets)
+        if not target_list:
+            raise ConfigurationError("compile needs at least one energy target")
+        entries: dict[tuple[str, str], tuple[int, int]] = {}
+        features: dict[str, tuple[float, ...]] = {}
+        for kernel in kernels:
+            features[kernel.name] = tuple(extract_features(kernel))
+            for target in target_list:
+                entries[(kernel.name, target.name)] = self.predictor.predict_frequency(
+                    kernel, target
+                )
+        plan = FrequencyPlan(device_name=self.spec.name, entries=entries)
+        return CompiledApplication(
+            kernels=tuple(kernels), plan=plan, feature_vectors=features
+        )

@@ -1,0 +1,71 @@
+"""Saving and loading trained model bundles (deployment step, §3.2).
+
+A bundle file is a single JSON document: device name plus the four
+serialized estimators. Files written by :func:`save_bundle` round-trip
+exactly through :func:`load_bundle` (deterministic estimators, no pickle).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ValidationError
+from repro.core.models import EnergyModelBundle
+from repro.ml.serialization import deserialize_estimator, serialize_estimator
+
+#: Bundle file format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+def bundle_to_dict(bundle: EnergyModelBundle) -> dict:
+    """Serialize a fitted bundle to a JSON-compatible dict."""
+    if bundle.models_ is None:
+        raise ValidationError("cannot save an unfitted EnergyModelBundle")
+    return {
+        "format": "repro-energy-model-bundle",
+        "version": FORMAT_VERSION,
+        "device_name": bundle.device_name,
+        "models": {
+            name: serialize_estimator(model)
+            for name, model in bundle.models_.items()
+        },
+    }
+
+
+def bundle_from_dict(data: dict) -> EnergyModelBundle:
+    """Rebuild a bundle serialized by :func:`bundle_to_dict`."""
+    if data.get("format") != "repro-energy-model-bundle":
+        raise ValidationError("not an energy-model bundle file")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported bundle version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    models = data.get("models", {})
+    expected = {"time", "energy", "edp", "ed2p"}
+    if set(models) != expected:
+        raise ValidationError(
+            f"bundle must contain models {sorted(expected)}, got {sorted(models)}"
+        )
+    bundle = EnergyModelBundle()
+    bundle.models_ = {
+        name: deserialize_estimator(payload) for name, payload in models.items()
+    }
+    bundle.device_name = data.get("device_name")
+    return bundle
+
+
+def save_bundle(bundle: EnergyModelBundle, path: str | Path) -> Path:
+    """Write a fitted bundle to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(bundle_to_dict(bundle)))
+    return path
+
+
+def load_bundle(path: str | Path) -> EnergyModelBundle:
+    """Load a bundle file written by :func:`save_bundle`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"bundle file {path} does not exist")
+    return bundle_from_dict(json.loads(path.read_text()))

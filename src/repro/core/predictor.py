@@ -1,0 +1,50 @@
+"""Per-target frequency search (paper §6.2 step ⑥).
+
+Given the four predicted metric curves for a kernel, resolve each energy
+target to a concrete clock from the device's frequency table:
+
+- MAX_PERF / MIN_ENERGY / MIN_EDP / MIN_ED2P minimize the corresponding
+  predicted curve directly,
+- ES_x / PL_x run their §5 selection rule on the predicted energy and time
+  curves with the device default as the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.models import EnergyModelBundle
+from repro.hw.specs import GPUSpec
+from repro.kernelir.kernel import KernelIR
+from repro.metrics.targets import EnergyTarget, TargetKind
+
+
+class FrequencyPredictor:
+    """Maps ``(kernel, target)`` to a predicted-optimal clock pair."""
+
+    def __init__(self, bundle: EnergyModelBundle, spec: GPUSpec) -> None:
+        self.bundle = bundle
+        self.spec = spec
+        self._freqs = np.asarray(spec.core_freqs_mhz, dtype=float)
+        self._default_index = int(
+            np.argmin(np.abs(self._freqs - spec.default_core_mhz))
+        )
+
+    def predict_index(self, kernel: KernelIR, target: EnergyTarget) -> int:
+        """Index into the device core-clock table realizing ``target``."""
+        curves = self.bundle.predict_curves(kernel, self._freqs)
+        time = np.maximum(curves["time"], 1e-12)
+        energy = np.maximum(curves["energy"], 1e-12)
+        if target.kind is TargetKind.MIN_EDP:
+            return int(np.argmin(curves["edp"]))
+        if target.kind is TargetKind.MIN_ED2P:
+            return int(np.argmin(curves["ed2p"]))
+        # MAX_PERF, MIN_ENERGY, ES_x and PL_x resolve on time/energy curves.
+        return target.resolve_index(self._freqs, time, energy, self._default_index)
+
+    def predict_frequency(
+        self, kernel: KernelIR, target: EnergyTarget
+    ) -> tuple[int, int]:
+        """Predicted-optimal ``(mem_mhz, core_mhz)`` for a kernel and target."""
+        idx = self.predict_index(kernel, target)
+        return self.spec.default_mem_mhz, int(self.spec.core_freqs_mhz[idx])

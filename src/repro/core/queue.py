@@ -1,0 +1,192 @@
+"""``synergy::queue`` (paper §4, Listings 1–4).
+
+:class:`SynergyQueue` extends the SYCL queue with:
+
+- energy profiling: :meth:`kernel_energy_consumption` (fine-grained, per
+  event) and :meth:`device_energy_consumption` (coarse-grained, queue
+  lifetime window),
+- frequency scaling: construction-time clocks
+  (``SynergyQueue(1215, 210, gpu_selector_v)``), per-submission clocks
+  (``q.submit(877, 1530, cgf)``), and per-kernel energy targets
+  (``q.submit(MIN_EDP, cgf)``) resolved through the compiled frequency
+  plan or a live predictor,
+- all clock changes land *just before the kernel starts* and are skipped
+  when redundant, with the §4.4 switch overhead charged otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.core.compiler import FrequencyPlan
+from repro.core.frequency import DEFAULT_SWITCH_OVERHEAD_S, FrequencyScaler
+from repro.core.predictor import FrequencyPredictor
+from repro.core.profiling import EnergyProfiler
+from repro.kernelir.kernel import KernelIR
+from repro.metrics.targets import EnergyTarget
+from repro.sycl.event import Event
+from repro.sycl.handler import Handler
+from repro.sycl.queue import CommandGroupFn, Queue
+
+
+class SynergyQueue(Queue):
+    """A SYCL queue with energy capabilities.
+
+    Construction forms::
+
+        SynergyQueue(gpu_selector_v)                 # plain (Listing 1)
+        SynergyQueue(1215, 210, gpu_selector_v)      # fixed clocks (Listing 2)
+
+    Keyword-only extras: ``plan`` (compiled frequency plan), ``predictor``
+    (live model inference for targets), ``switch_overhead_s``.
+    """
+
+    def __init__(
+        self,
+        *args,
+        plan: FrequencyPlan | None = None,
+        predictor: FrequencyPredictor | None = None,
+        switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S,
+    ) -> None:
+        queue_clocks: tuple[int, int] | None = None
+        if len(args) >= 2 and isinstance(args[0], int) and isinstance(args[1], int):
+            mem_mhz, core_mhz = args[0], args[1]
+            queue_clocks = (mem_mhz, core_mhz)
+            selector_args = args[2:]
+        else:
+            selector_args = args
+        if len(selector_args) > 1:
+            raise ValidationError(
+                "SynergyQueue accepts (selector), (mem, core) or "
+                "(mem, core, selector)"
+            )
+        super().__init__(selector_args[0] if selector_args else None)
+
+        self.plan = plan
+        self.predictor = predictor
+        self.scaler = FrequencyScaler(
+            self.device.gpu, switch_overhead_s=switch_overhead_s
+        )
+        self.profiler = EnergyProfiler(self.device.gpu)
+        self._queue_clocks = queue_clocks
+        if queue_clocks is not None:
+            self.device.gpu.spec.validate_clocks(*queue_clocks)
+        # Pending clock request consumed by _pre_kernel for one submission.
+        self._pending: tuple[int, int] | EnergyTarget | None = None
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, *args) -> Event:
+        """Submit a command group, optionally with a target or clock pair.
+
+        Forms: ``submit(cgf)``, ``submit(target, cgf)``,
+        ``submit(mem_mhz, core_mhz, cgf)``.
+        """
+        if len(args) == 1:
+            cgf = args[0]
+            self._pending = None
+        elif len(args) == 2 and isinstance(args[0], EnergyTarget):
+            target, cgf = args
+            self._pending = target
+        elif (
+            len(args) == 3
+            and isinstance(args[0], int)
+            and isinstance(args[1], int)
+        ):
+            mem_mhz, core_mhz, cgf = args
+            self._pending = (mem_mhz, core_mhz)
+        else:
+            raise ValidationError(
+                "submit accepts (cgf), (EnergyTarget, cgf) or (mem, core, cgf)"
+            )
+        if not callable(cgf):
+            raise ValidationError("command group must be callable")
+        try:
+            return super().submit(cgf)
+        finally:
+            self._pending = None
+
+    def _pre_kernel(self, kernel: KernelIR) -> None:
+        """Apply the frequency configuration just before the kernel starts."""
+        request = self._pending
+        if isinstance(request, EnergyTarget):
+            mem, core = self._resolve_target(kernel, request)
+        elif isinstance(request, tuple):
+            mem, core = request
+        elif self._queue_clocks is not None:
+            mem, core = self._queue_clocks
+        else:
+            return
+        self.scaler.set_frequency(mem, core)
+
+    def _resolve_target(
+        self, kernel: KernelIR, target: EnergyTarget
+    ) -> tuple[int, int]:
+        if self.plan is not None and self.plan.has(kernel.name, target):
+            return self.plan.lookup(kernel.name, target)
+        if self.predictor is not None:
+            return self.predictor.predict_frequency(kernel, target)
+        raise ConfigurationError(
+            f"kernel {kernel.name!r} submitted with target {target.name} but "
+            "the queue has neither a compiled frequency plan nor a predictor"
+        )
+
+    # ------------------------------------------------------------- profiling
+
+    def kernel_energy_consumption(
+        self, event: Event, *, true_value: bool = False
+    ) -> float:
+        """Fine-grained energy (J) of one kernel event (§4.2)."""
+        return self.profiler.kernel_energy(event, true_value=true_value)
+
+    def device_energy_consumption(self, *, true_value: bool = False) -> float:
+        """Coarse-grained device energy (J) since queue construction (§4.2)."""
+        self.wait()
+        return self.profiler.device_energy(true_value=true_value)
+
+    # --------------------------------------------------------------- control
+
+    def kernel_stats(self) -> list[dict[str, float | str]]:
+        """Per-kernel execution statistics, in submission order.
+
+        One row per event: kernel name, applied clocks, wall time and true
+        energy — the raw material of a per-kernel tuning report.
+        """
+        rows: list[dict[str, float | str]] = []
+        for event in self.events:
+            record = event.record
+            if record is None:
+                continue
+            rows.append(
+                {
+                    "kernel": record.kernel_name,
+                    "core_mhz": record.core_mhz,
+                    "mem_mhz": record.mem_mhz,
+                    "time_s": record.time_s,
+                    "energy_j": record.energy_j,
+                    "avg_power_w": record.avg_power_w,
+                }
+            )
+        return rows
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate queue statistics: totals plus switch-overhead cost."""
+        stats = self.kernel_stats()
+        return {
+            "kernels": float(len(stats)),
+            "kernel_time_s": float(sum(r["time_s"] for r in stats)),
+            "kernel_energy_j": float(sum(r["energy_j"] for r in stats)),
+            "clock_switches": float(self.scaler.switch_count),
+            "switch_overhead_s": self.scaler.total_overhead_s,
+        }
+
+    def set_frequency(self, mem_mhz: int, core_mhz: int) -> None:
+        """Manually pin clocks for subsequent submissions."""
+        self._queue_clocks = (mem_mhz, core_mhz)
+        self.scaler.set_frequency(mem_mhz, core_mhz)
+
+    def reset_frequency(self) -> None:
+        """Drop any pinned clocks and restore driver defaults."""
+        self._queue_clocks = None
+        self.scaler.reset()

@@ -1,0 +1,47 @@
+"""Simulated GPU hardware substrate.
+
+This package replaces the paper's physical NVIDIA V100 / A100 and AMD MI100
+boards with an analytical DVFS model:
+
+- :mod:`~repro.hw.specs` — device catalogs, including the exact frequency
+  tables of Figure 1 (196 / 81 / 16 core configurations),
+- :mod:`~repro.hw.voltage` — the voltage/frequency curve,
+- :mod:`~repro.hw.power` — board power as a function of clocks + utilization,
+- :mod:`~repro.hw.timing` — roofline kernel timing from the instruction mix,
+- :mod:`~repro.hw.device` — the stateful simulated GPU (clocks, privileges,
+  power trace, energy counters) that executes kernels in virtual time,
+- :mod:`~repro.hw.sensor` — the sampled power sensor with the ~15 ms
+  granularity limitation described in §4.4.
+"""
+
+from repro.hw.device import KernelExecutionRecord, SimulatedGPU
+from repro.hw.power import PowerModel
+from repro.hw.sensor import PowerSensor
+from repro.hw.specs import (
+    AMD_MI100,
+    GPUSpec,
+    NVIDIA_A100,
+    NVIDIA_TITAN_X,
+    NVIDIA_V100,
+    get_spec,
+    known_devices,
+)
+from repro.hw.timing import KernelTiming, TimingModel
+from repro.hw.voltage import VoltageCurve
+
+__all__ = [
+    "GPUSpec",
+    "NVIDIA_V100",
+    "NVIDIA_A100",
+    "NVIDIA_TITAN_X",
+    "AMD_MI100",
+    "get_spec",
+    "known_devices",
+    "VoltageCurve",
+    "PowerModel",
+    "TimingModel",
+    "KernelTiming",
+    "SimulatedGPU",
+    "KernelExecutionRecord",
+    "PowerSensor",
+]

@@ -1,0 +1,353 @@
+"""Stateful simulated GPU.
+
+A :class:`SimulatedGPU` owns the mutable board state the vendor libraries
+and the SYCL runtime interact with:
+
+- current application clocks (core/memory) and the privilege model guarding
+  them (``api_restricted`` mirrors NVML's ``SetAPIRestriction`` semantics:
+  when restricted, only privileged callers may change clocks — the exact
+  hazard the paper's SLURM plugin manages, §7),
+- a busy/idle power timeline in virtual time, from which both the true
+  (analytic) energy and the sampled sensor energy are derived,
+- per-kernel execution records.
+
+Kernels execute serially per device (one hardware queue), matching how the
+paper profiles per-kernel energy.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ConfigurationError, ReproError, SimulationError
+from repro.hw.power import PowerModel
+from repro.hw.specs import GPUSpec
+from repro.hw.timing import TimingModel
+from repro.kernelir.kernel import KernelIR
+
+
+class ClockPermissionError(ReproError):
+    """Raised when an unprivileged caller changes clocks on a restricted GPU."""
+
+
+@dataclass(frozen=True)
+class KernelExecutionRecord:
+    """Outcome of one kernel execution on a simulated GPU."""
+
+    kernel_name: str
+    device_name: str
+    core_mhz: int
+    mem_mhz: int
+    start_s: float
+    end_s: float
+    energy_j: float
+    avg_power_w: float
+    u_core: float
+    u_mem: float
+
+    @property
+    def time_s(self) -> float:
+        """Kernel wall time in seconds."""
+        return self.end_s - self.start_s
+
+
+_device_ids = itertools.count()
+
+
+class SimulatedGPU:
+    """One GPU board: clocks, privilege state, power timeline, executions."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        clock: VirtualClock | None = None,
+        index: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.clock = clock if clock is not None else VirtualClock()
+        self.index = next(_device_ids) if index is None else index
+        self.power_model = PowerModel(spec)
+        self.timing_model = TimingModel(spec)
+
+        self._core_mhz = spec.default_core_mhz
+        self._mem_mhz = spec.default_mem_mhz
+        #: Board power limit (W); kernels that would exceed it run at the
+        #: highest clock whose power fits (hardware throttling). Defaults
+        #: to the model's peak draw, i.e. unconstrained.
+        self.default_power_limit_w: float = PowerModel(spec).peak_power()
+        self.power_limit_w: float = self.default_power_limit_w
+        #: NVML-style API restriction: True means clock changes need
+        #: privilege. Standalone boards default to unrestricted (a developer
+        #: workstation); production clusters restrict every board at node
+        #: provisioning and rely on the SLURM plugin to lower it per job.
+        self.api_restricted: bool = False
+        self._busy_until: float = self.clock.now
+        # Busy power segments: parallel arrays (start, end, power_w).
+        self._seg_start: list[float] = []
+        self._seg_end: list[float] = []
+        self._seg_power: list[float] = []
+        # Clock history: (time, core_mhz, mem_mhz), ascending in time.
+        self._clock_times: list[float] = [self.clock.now]
+        self._clock_values: list[tuple[int, int]] = [(self._core_mhz, self._mem_mhz)]
+        self.records: list[KernelExecutionRecord] = []
+        #: Count of clock-change API calls (for the §4.4 overhead analysis).
+        self.clock_set_calls: int = 0
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def core_mhz(self) -> int:
+        """Current application core clock (MHz)."""
+        return self._core_mhz
+
+    @property
+    def mem_mhz(self) -> int:
+        """Current application memory clock (MHz)."""
+        return self._mem_mhz
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the device's hardware queue drains."""
+        return self._busy_until
+
+    def set_application_clocks(
+        self, mem_mhz: int, core_mhz: int, *, privileged: bool = False
+    ) -> None:
+        """Set application clocks, enforcing the NVML privilege model.
+
+        Raises :class:`ClockPermissionError` if the device is API-restricted
+        and the caller is unprivileged, and
+        :class:`~repro.common.errors.ConfigurationError` for clocks outside
+        the device table.
+        """
+        if self.api_restricted and not privileged:
+            raise ClockPermissionError(
+                f"{self.spec.name}[{self.index}]: application clocks are "
+                "root-restricted (no SetAPIRestriction lowering in effect)"
+            )
+        self.spec.validate_clocks(mem_mhz, core_mhz)
+        self._core_mhz = int(core_mhz)
+        self._mem_mhz = int(mem_mhz)
+        self._record_clock_change()
+        self.clock_set_calls += 1
+
+    def reset_application_clocks(self, *, privileged: bool = False) -> None:
+        """Restore the driver default clocks (epilogue cleanup path)."""
+        if self.api_restricted and not privileged:
+            raise ClockPermissionError(
+                f"{self.spec.name}[{self.index}]: resetting clocks is "
+                "root-restricted"
+            )
+        self._core_mhz = self.spec.default_core_mhz
+        self._mem_mhz = self.spec.default_mem_mhz
+        self._record_clock_change()
+        self.clock_set_calls += 1
+
+    def set_power_limit(self, watts: float, *, privileged: bool = False) -> None:
+        """Set the board power limit (root-only, like real NVML).
+
+        Limits below a safety floor (half the idle draw above zero would
+        brick a real board; we require at least the idle power) or above
+        the default limit are rejected.
+        """
+        if not privileged:
+            raise ClockPermissionError(
+                f"{self.spec.name}[{self.index}]: power limit changes require root"
+            )
+        if not self.spec.idle_power_w <= watts <= self.default_power_limit_w:
+            raise ConfigurationError(
+                f"power limit {watts!r} W outside "
+                f"[{self.spec.idle_power_w}, {self.default_power_limit_w:.0f}] W"
+            )
+        self.power_limit_w = float(watts)
+
+    def reset_power_limit(self, *, privileged: bool = False) -> None:
+        """Restore the default board power limit (root-only)."""
+        if not privileged:
+            raise ClockPermissionError(
+                f"{self.spec.name}[{self.index}]: power limit changes require root"
+            )
+        self.power_limit_w = self.default_power_limit_w
+
+    def set_api_restriction(self, restricted: bool) -> None:
+        """Toggle whether unprivileged clock changes are allowed.
+
+        This is the simulated ``nvmlDeviceSetAPIRestriction`` — only the
+        SLURM plugin (acting as root) calls it.
+        """
+        self.api_restricted = bool(restricted)
+
+    def _record_clock_change(self) -> None:
+        now = self.clock.now
+        if self._clock_times and self._clock_times[-1] == now:
+            self._clock_values[-1] = (self._core_mhz, self._mem_mhz)
+        else:
+            self._clock_times.append(now)
+            self._clock_values.append((self._core_mhz, self._mem_mhz))
+
+    def clocks_at(self, t: float) -> tuple[int, int]:
+        """Application clocks (core, mem) in effect at virtual time ``t``."""
+        i = bisect.bisect_right(self._clock_times, t) - 1
+        return self._clock_values[max(i, 0)]
+
+    # -------------------------------------------------------------- execution
+
+    def execute(self, kernel: KernelIR, submit_time: float | None = None) -> KernelExecutionRecord:
+        """Run one kernel at the current clocks, advancing virtual time.
+
+        The kernel starts when the hardware queue is free (serial execution
+        per device) and its busy power segment is appended to the timeline.
+        """
+        submit = self.clock.now if submit_time is None else float(submit_time)
+        if submit < 0:
+            raise SimulationError(f"negative submit time {submit!r}")
+        start = max(submit, self._busy_until)
+        core_mhz, timing, power = self._throttled_operating_point(kernel)
+        end = start + timing.time_s
+        self._seg_start.append(start)
+        self._seg_end.append(end)
+        self._seg_power.append(power)
+        self._busy_until = end
+        if end > self.clock.now:
+            self.clock.advance_to(end)
+        record = KernelExecutionRecord(
+            kernel_name=kernel.name,
+            device_name=self.spec.name,
+            core_mhz=core_mhz,
+            mem_mhz=self._mem_mhz,
+            start_s=start,
+            end_s=end,
+            energy_j=power * timing.time_s,
+            avg_power_w=power,
+            u_core=timing.u_core,
+            u_mem=timing.u_mem,
+        )
+        self.records.append(record)
+        return record
+
+    def transfer(self, nbytes: float, submit_time: float | None = None) -> KernelExecutionRecord:
+        """Host-device data transfer over the PCIe-class link.
+
+        Occupies the device timeline (copies serialize with kernels on the
+        same hardware queue) at a low, memory-only power draw.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes!r}")
+        submit = self.clock.now if submit_time is None else float(submit_time)
+        start = max(submit, self._busy_until)
+        duration = (
+            nbytes / (self.spec.pcie_bandwidth_gbs * 1e9)
+            + self.spec.launch_overhead_s
+        )
+        power = float(self.power_model.power(self._core_mhz, self._mem_mhz, 0.0, 0.3))
+        end = start + duration
+        self._seg_start.append(start)
+        self._seg_end.append(end)
+        self._seg_power.append(power)
+        self._busy_until = end
+        if end > self.clock.now:
+            self.clock.advance_to(end)
+        record = KernelExecutionRecord(
+            kernel_name="<memcpy>",
+            device_name=self.spec.name,
+            core_mhz=self._core_mhz,
+            mem_mhz=self._mem_mhz,
+            start_s=start,
+            end_s=end,
+            energy_j=power * duration,
+            avg_power_w=power,
+            u_core=0.0,
+            u_mem=0.3,
+        )
+        self.records.append(record)
+        return record
+
+    def _throttled_operating_point(self, kernel: KernelIR):
+        """Clocks/timing/power for a kernel under the board power limit.
+
+        At the application clocks the kernel may exceed the power limit; the
+        board then throttles: it runs at the highest supported core clock
+        (≤ the application clock) whose power fits. The lowest table clock
+        is used if nothing fits.
+        """
+        candidates = [f for f in self.spec.core_freqs_mhz if f <= self._core_mhz]
+        for core_mhz in reversed(candidates):
+            timing = self.timing_model.execute(kernel, core_mhz, self._mem_mhz)
+            power = float(
+                self.power_model.power(
+                    core_mhz,
+                    self._mem_mhz,
+                    timing.core_power_utilization,
+                    timing.u_mem,
+                )
+            )
+            if power <= self.power_limit_w or core_mhz == candidates[0]:
+                return core_mhz, timing, power
+        # Application clock below the table minimum cannot happen (clocks
+        # are validated), but keep a defensive fallback.
+        core_mhz = self.spec.min_core_mhz  # pragma: no cover
+        timing = self.timing_model.execute(kernel, core_mhz, self._mem_mhz)
+        power = float(
+            self.power_model.power(
+                core_mhz, self._mem_mhz, timing.core_power_utilization, timing.u_mem
+            )
+        )
+        return core_mhz, timing, power  # pragma: no cover
+
+    # ------------------------------------------------------------------ power
+
+    def instantaneous_power(self, t: float) -> float:
+        """Board power draw (W) at virtual time ``t``: busy segment or idle."""
+        i = bisect.bisect_right(self._seg_start, t) - 1
+        if i >= 0 and self._seg_start[i] <= t < self._seg_end[i]:
+            return self._seg_power[i]
+        core, mem = self.clocks_at(t)
+        return self.power_model.idle_power(core, mem)
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """True (analytic) board energy in joules over ``[t0, t1]``.
+
+        Integrates busy segments exactly and fills gaps with idle power at
+        the clocks then in effect.
+        """
+        if t1 < t0:
+            raise SimulationError(f"energy window reversed: [{t0!r}, {t1!r}]")
+        energy = 0.0
+        cursor = t0
+        for s, e, p in zip(self._seg_start, self._seg_end, self._seg_power):
+            if e <= t0:
+                continue
+            if s >= t1:
+                break
+            if s > cursor:
+                energy += self._idle_energy(cursor, min(s, t1))
+                cursor = min(s, t1)
+            lo, hi = max(s, cursor), min(e, t1)
+            if hi > lo:
+                energy += p * (hi - lo)
+                cursor = hi
+        if cursor < t1:
+            energy += self._idle_energy(cursor, t1)
+        return energy
+
+    def _idle_energy(self, t0: float, t1: float) -> float:
+        """Idle energy over a gap, split at clock-change boundaries."""
+        energy = 0.0
+        cursor = t0
+        i = bisect.bisect_right(self._clock_times, t0)
+        boundaries = [t for t in self._clock_times[i:] if t < t1] + [t1]
+        for boundary in boundaries:
+            core, mem = self.clocks_at(cursor)
+            energy += self.power_model.idle_power(core, mem) * (boundary - cursor)
+            cursor = boundary
+        return energy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedGPU({self.spec.name!r}, index={self.index}, "
+            f"clocks={self._core_mhz}/{self._mem_mhz} MHz, "
+            f"restricted={self.api_restricted})"
+        )

@@ -1,0 +1,29 @@
+"""Energy-delay scalarizations (paper §5.1).
+
+EDP (Horowitz et al.) multiplies energy by delay; ED2P squares the delay,
+weighting performance more — which is why its optimum sits near the maximum
+frequency (Fig. 4b) and it "should not be considered a tradeoff metric".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def edp(energy_j: float | np.ndarray, time_s: float | np.ndarray) -> float | np.ndarray:
+    """Energy-Delay Product ``e · t`` (J·s)."""
+    result = np.asarray(energy_j, dtype=float) * np.asarray(time_s, dtype=float)
+    if np.isscalar(energy_j) and np.isscalar(time_s):
+        return float(result)
+    return result
+
+
+def ed2p(
+    energy_j: float | np.ndarray, time_s: float | np.ndarray
+) -> float | np.ndarray:
+    """Energy-Delay-Square Product ``e · t²`` (J·s²)."""
+    t = np.asarray(time_s, dtype=float)
+    result = np.asarray(energy_j, dtype=float) * t * t
+    if np.isscalar(energy_j) and np.isscalar(time_s):
+        return float(result)
+    return result

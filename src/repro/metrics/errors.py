@@ -1,0 +1,53 @@
+"""Prediction-error measures used in the §8.3 accuracy analysis.
+
+All three operate on *objective values realized at the chosen frequency*
+(see Table 2's protocol), but are generic enough for any paired arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def _paired(actual, predicted) -> tuple[np.ndarray, np.ndarray]:
+    a = np.atleast_1d(np.asarray(actual, dtype=float))
+    p = np.atleast_1d(np.asarray(predicted, dtype=float))
+    if a.shape != p.shape:
+        raise ValidationError(
+            f"actual/predicted shapes differ: {a.shape} vs {p.shape}"
+        )
+    if a.size == 0:
+        raise ValidationError("error metrics need at least one sample")
+    return a, p
+
+
+def ape(actual: float, predicted: float) -> float:
+    """Absolute percentage error ``|a − p| / |a|`` for one sample.
+
+    Zero actual with zero predicted is a perfect prediction (APE 0); zero
+    actual with nonzero predicted is undefined and raises.
+    """
+    a, p = _paired(actual, predicted)
+    if a.size != 1:
+        raise ValidationError("ape is a single-sample metric; use mape for arrays")
+    if a[0] == 0.0:
+        if p[0] == 0.0:
+            return 0.0
+        raise ValidationError("APE undefined for zero actual and nonzero prediction")
+    return float(abs(a[0] - p[0]) / abs(a[0]))
+
+
+def mape(actual, predicted) -> float:
+    """Mean absolute percentage error over paired samples (fraction, not %)."""
+    a, p = _paired(actual, predicted)
+    if np.any(a == 0.0):
+        raise ValidationError("MAPE undefined when an actual value is zero")
+    return float(np.mean(np.abs(a - p) / np.abs(a)))
+
+
+def rmse(actual, predicted) -> float:
+    """Root mean squared error over paired samples."""
+    a, p = _paired(actual, predicted)
+    return float(np.sqrt(np.mean((a - p) ** 2)))

@@ -1,0 +1,134 @@
+"""Energy-target vocabulary and resolution (paper §4.3, §5).
+
+An :class:`EnergyTarget` is what a SYnergy user attaches to a kernel
+submission: ``q.submit(MIN_EDP, cgf)``. Targets resolve to a concrete
+frequency index against measured (or predicted) sweep data via
+:meth:`EnergyTarget.resolve_index`.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.metrics.energy import ed2p, edp
+from repro.metrics.tradeoff import energy_saving_index, performance_loss_index
+
+
+class TargetKind(enum.Enum):
+    """The target families of §4.3/§5."""
+
+    MAX_PERF = "MAX_PERF"
+    MIN_ENERGY = "MIN_ENERGY"
+    MIN_EDP = "MIN_EDP"
+    MIN_ED2P = "MIN_ED2P"
+    ES = "ES"
+    PL = "PL"
+
+
+@dataclass(frozen=True)
+class EnergyTarget:
+    """A per-kernel energy goal, e.g. ``MIN_EDP`` or ``ES_25``.
+
+    ``percent`` is only meaningful for the ES/PL families.
+    """
+
+    kind: TargetKind
+    percent: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (TargetKind.ES, TargetKind.PL):
+            if self.percent is None:
+                raise ValidationError(f"{self.kind.value} target needs a percentage")
+            if not 0.0 <= self.percent <= 100.0:
+                raise ValidationError(
+                    f"{self.kind.value} percentage must be in [0, 100] "
+                    f"({self.percent!r})"
+                )
+        elif self.percent is not None:
+            raise ValidationError(
+                f"{self.kind.value} target does not take a percentage"
+            )
+
+    @property
+    def name(self) -> str:
+        """Canonical spelling, e.g. ``"ES_25"`` or ``"MIN_EDP"``."""
+        if self.percent is not None:
+            return f"{self.kind.value}_{self.percent:g}"
+        return self.kind.value
+
+    @classmethod
+    def parse(cls, text: str) -> "EnergyTarget":
+        """Parse a canonical spelling (``"MIN_EDP"``, ``"ES_25"``, ...)."""
+        t = text.strip().upper()
+        simple = {
+            "MAX_PERF": TargetKind.MAX_PERF,
+            "MIN_ENERGY": TargetKind.MIN_ENERGY,
+            "MIN_EDP": TargetKind.MIN_EDP,
+            "MIN_ED2P": TargetKind.MIN_ED2P,
+        }
+        if t in simple:
+            return cls(simple[t])
+        m = re.fullmatch(r"(ES|PL)_(\d+(?:\.\d+)?)", t)
+        if m:
+            return cls(TargetKind[m.group(1)], float(m.group(2)))
+        raise ValidationError(f"cannot parse energy target {text!r}")
+
+    def resolve_index(
+        self, freqs, times, energies, default_index: int
+    ) -> int:
+        """Pick the frequency index that realizes this target on sweep data.
+
+        This is the "search algorithm" of §6.2 step ⑥: given per-frequency
+        (predicted or measured) time and energy, select the configuration.
+        """
+        t = np.asarray(times, dtype=float)
+        e = np.asarray(energies, dtype=float)
+        if self.kind is TargetKind.MAX_PERF:
+            return int(np.argmin(t))
+        if self.kind is TargetKind.MIN_ENERGY:
+            return int(np.argmin(e))
+        if self.kind is TargetKind.MIN_EDP:
+            return int(np.argmin(edp(e, t)))
+        if self.kind is TargetKind.MIN_ED2P:
+            return int(np.argmin(ed2p(e, t)))
+        if self.kind is TargetKind.ES:
+            assert self.percent is not None
+            return energy_saving_index(freqs, t, e, default_index, self.percent)
+        assert self.kind is TargetKind.PL and self.percent is not None
+        return performance_loss_index(freqs, t, e, default_index, self.percent)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Canonical instances used throughout the paper's evaluation.
+MAX_PERF = EnergyTarget(TargetKind.MAX_PERF)
+MIN_ENERGY = EnergyTarget(TargetKind.MIN_ENERGY)
+MIN_EDP = EnergyTarget(TargetKind.MIN_EDP)
+MIN_ED2P = EnergyTarget(TargetKind.MIN_ED2P)
+ES_25 = EnergyTarget(TargetKind.ES, 25.0)
+ES_50 = EnergyTarget(TargetKind.ES, 50.0)
+ES_75 = EnergyTarget(TargetKind.ES, 75.0)
+ES_100 = EnergyTarget(TargetKind.ES, 100.0)
+PL_25 = EnergyTarget(TargetKind.PL, 25.0)
+PL_50 = EnergyTarget(TargetKind.PL, 50.0)
+PL_75 = EnergyTarget(TargetKind.PL, 75.0)
+
+#: The ten objectives evaluated in Table 2, in the paper's row order.
+TABLE2_OBJECTIVES: tuple[EnergyTarget, ...] = (
+    MAX_PERF,
+    MIN_ENERGY,
+    MIN_EDP,
+    MIN_ED2P,
+    ES_25,
+    ES_50,
+    ES_75,
+    PL_25,
+    PL_50,
+    PL_75,
+)

@@ -1,0 +1,82 @@
+"""ES_x and PL_x selection rules (paper §5.2–5.3).
+
+Both metrics operate on the interval between the minimum-energy frequency
+and the default frequency, the region where the interesting Pareto-optimal
+tradeoffs live:
+
+- ``ES_x`` — the best-*performing* configuration that saves at least ``x``\\%
+  of the *potential* energy saving ``e_default − e_min``. ``ES_100`` is the
+  minimum-energy configuration, ``ES_0`` degenerates to the default.
+- ``PL_x`` — the most energy-*frugal* configuration whose performance loss
+  is at most ``x``\\% of the *potential* loss, where the potential loss is
+  measured from the default down to the performance at the minimum-energy
+  frequency (the other end of the interval).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def _validate(freqs, times, energies, default_index: int) -> tuple[np.ndarray, ...]:
+    f = np.asarray(freqs, dtype=float)
+    t = np.asarray(times, dtype=float)
+    e = np.asarray(energies, dtype=float)
+    if not (f.shape == t.shape == e.shape) or f.ndim != 1 or f.size == 0:
+        raise ValidationError("freqs/times/energies must be equal-length 1-D arrays")
+    if not 0 <= default_index < f.size:
+        raise ValidationError(f"default index {default_index} out of range")
+    if np.any(t <= 0) or np.any(e <= 0):
+        raise ValidationError("times and energies must be positive")
+    return f, t, e
+
+
+def energy_saving_index(
+    freqs, times, energies, default_index: int, percent: float
+) -> int:
+    """Index of the ES_percent configuration in a frequency sweep.
+
+    Among configurations meeting the required energy saving, ties on
+    performance break toward lower energy.
+    """
+    if not 0.0 <= percent <= 100.0:
+        raise ValidationError(f"ES percent must be in [0, 100] ({percent!r})")
+    _, t, e = _validate(freqs, times, energies, default_index)
+    e_default = e[default_index]
+    e_min = float(np.min(e))
+    threshold = e_default - (percent / 100.0) * (e_default - e_min)
+    eligible = np.flatnonzero(e <= threshold)
+    if eligible.size == 0:
+        # Degenerate sweep (default already at minimum energy).
+        return int(np.argmin(e))
+    # Best performing among eligible; ties → more energy saving.
+    order = np.lexsort((e[eligible], t[eligible]))
+    return int(eligible[order[0]])
+
+
+def performance_loss_index(
+    freqs, times, energies, default_index: int, percent: float
+) -> int:
+    """Index of the PL_percent configuration in a frequency sweep.
+
+    Among configurations within the allowed performance loss, the most
+    energy-frugal wins; ties on energy break toward higher performance.
+    """
+    if not 0.0 <= percent <= 100.0:
+        raise ValidationError(f"PL percent must be in [0, 100] ({percent!r})")
+    _, t, e = _validate(freqs, times, energies, default_index)
+    perf = 1.0 / t
+    perf_default = perf[default_index]
+    perf_at_emin = perf[int(np.argmin(e))]
+    # The interval endpoint: performance at the minimum-energy frequency.
+    # When the min-energy config is *faster* than default the potential loss
+    # is zero and every config at least as fast as default is eligible.
+    potential_loss = max(perf_default - perf_at_emin, 0.0)
+    threshold = perf_default - (percent / 100.0) * potential_loss
+    eligible = np.flatnonzero(perf >= threshold)
+    if eligible.size == 0:
+        return int(default_index)
+    order = np.lexsort((t[eligible], e[eligible]))
+    return int(eligible[order[0]])

@@ -1,0 +1,69 @@
+"""Estimator protocol and shared validation/scoring helpers."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+class Estimator(abc.ABC):
+    """Minimal fit/predict regression estimator interface."""
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Estimator":
+        """Fit on ``(n_samples, n_features)`` / ``(n_samples,)``; returns self."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``(n_samples, n_features)``."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R² on the given data."""
+        return r2_score(np.asarray(y, dtype=float), self.predict(X))
+
+    def _check_fitted(self, attr: str) -> None:
+        if not hasattr(self, attr) or getattr(self, attr) is None:
+            raise ValidationError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+
+def check_Xy(X, y=None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and coerce a design matrix (and optional target vector)."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValidationError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValidationError("X must contain at least one sample")
+    if not np.all(np.isfinite(X)):
+        raise ValidationError("X contains non-finite values")
+    if y is None:
+        return X, None
+    y = np.asarray(y, dtype=float).ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValidationError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if not np.all(np.isfinite(y)):
+        raise ValidationError("y contains non-finite values")
+    return X, y
+
+
+def r2_score(y_true, y_pred) -> float:
+    """R² = 1 − SS_res/SS_tot; a constant target scores 0 unless matched exactly."""
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,68 @@
+"""Random forest regression: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_seed, make_rng
+from repro.ml.base import Estimator, check_Xy
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor(Estimator):
+    """Bootstrap-aggregated regression trees.
+
+    Defaults follow common practice for regression: trees grown deep,
+    one-third of the features considered per split, full-size bootstrap
+    resamples. Fully deterministic given ``seed``.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | float | None = 1.0 / 3.0,
+        bootstrap: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValidationError(f"n_estimators must be >= 1 ({n_estimators!r})")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] | None = None
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        n = X.shape[0]
+        rng = make_rng(self.seed)
+        trees: list[DecisionTreeRegressor] = []
+        for i in range(self.n_estimators):
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                Xb, yb = X[idx], y[idx]
+            else:
+                Xb, yb = X, y
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=derive_seed(self.seed, "tree", i),
+            )
+            tree.fit(Xb, yb)
+            trees.append(tree)
+        self.trees_ = trees
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("trees_")
+        assert self.trees_ is not None
+        X, _ = check_Xy(X)
+        predictions = np.stack([tree.predict(X) for tree in self.trees_])
+        return predictions.mean(axis=0)

@@ -1,0 +1,94 @@
+"""Lasso regression via cyclic coordinate descent.
+
+Minimizes ``(1/2n)·‖y − Xw − b‖² + α·‖w‖₁``. Features are standardized
+internally (the textbook coordinate-descent update assumes comparable column
+scales); coefficients are mapped back to the original scale after fitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.ml.base import Estimator, check_Xy
+
+
+def _soft_threshold(value: float, threshold: float) -> float:
+    """The proximal operator of the L1 norm."""
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+class Lasso(Estimator):
+    """L1-regularized linear regression."""
+
+    def __init__(
+        self,
+        alpha: float = 0.01,
+        max_iter: int = 1000,
+        tol: float = 1e-6,
+        fit_intercept: bool = True,
+    ) -> None:
+        if alpha < 0:
+            raise ValidationError(f"alpha cannot be negative ({alpha!r})")
+        if max_iter < 1:
+            raise ValidationError(f"max_iter must be >= 1 ({max_iter!r})")
+        self.alpha = float(alpha)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    def fit(self, X, y) -> "Lasso":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        n, p = X.shape
+
+        x_mean = X.mean(axis=0) if self.fit_intercept else np.zeros(p)
+        y_mean = float(y.mean()) if self.fit_intercept else 0.0
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0.0] = 1.0
+        Xs = (X - x_mean) / x_scale
+        yc = y - y_mean
+
+        w = np.zeros(p)
+        residual = yc.copy()  # residual = yc − Xs @ w, maintained incrementally
+        col_sq = (Xs**2).sum(axis=0)
+        threshold = self.alpha * n
+
+        for iteration in range(1, self.max_iter + 1):
+            max_delta = 0.0
+            for j in range(p):
+                if col_sq[j] == 0.0:
+                    continue
+                rho = float(Xs[:, j] @ residual) + col_sq[j] * w[j]
+                w_new = _soft_threshold(rho, threshold) / col_sq[j]
+                delta = w_new - w[j]
+                if delta != 0.0:
+                    residual -= delta * Xs[:, j]
+                    w[j] = w_new
+                    max_delta = max(max_delta, abs(delta))
+            self.n_iter_ = iteration
+            if max_delta < self.tol:
+                break
+
+        # Map back to the original feature scale.
+        self.coef_ = w / x_scale
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X, _ = check_Xy(X)
+        assert self.coef_ is not None
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"feature count mismatch: fitted {self.coef_.shape[0]}, "
+                f"got {X.shape[1]}"
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,32 @@
+"""Cross-validated scoring."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.base import Estimator, check_Xy
+from repro.ml.preprocessing import KFold
+
+
+def cross_val_score(
+    make_estimator: Callable[[], Estimator],
+    X,
+    y,
+    n_splits: int = 5,
+    seed: int | None = None,
+) -> np.ndarray:
+    """R² score per fold for a fresh estimator trained on each fold.
+
+    Takes a factory rather than an estimator instance so folds never share
+    fitted state.
+    """
+    X, y = check_Xy(X, y)
+    assert y is not None
+    scores = []
+    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+        est = make_estimator()
+        est.fit(X[train_idx], y[train_idx])
+        scores.append(est.score(X[test_idx], y[test_idx]))
+    return np.array(scores)

@@ -1,0 +1,137 @@
+"""Estimator serialization to plain JSON-compatible dictionaries.
+
+Deployment (§3.2) trains the energy models once per system; the trained
+bundle must survive to later compile jobs. Serialization is explicit and
+pickle-free: every estimator maps to a ``{"type": ..., ...}`` dict of
+lists/floats, so model files are portable, inspectable and safe to load.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.ml.base import Estimator
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.lasso import Lasso
+from repro.ml.linear import LinearRegression, Ridge
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svr import SVR
+from repro.ml.tree import DecisionTreeRegressor, _Node
+
+
+def _array(value) -> list:
+    return np.asarray(value, dtype=float).tolist()
+
+
+# --------------------------------------------------------------------- trees
+
+def _node_to_dict(node: _Node) -> dict[str, Any]:
+    if node.is_leaf:
+        return {"value": node.value}
+    assert node.left is not None and node.right is not None
+    return {
+        "value": node.value,
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: dict[str, Any]) -> _Node:
+    node = _Node(value=float(data["value"]))
+    if "feature" in data:
+        node.feature = int(data["feature"])
+        node.threshold = float(data["threshold"])
+        node.left = _node_from_dict(data["left"])
+        node.right = _node_from_dict(data["right"])
+    return node
+
+
+# ---------------------------------------------------------------- estimators
+
+def serialize_estimator(estimator: Estimator) -> dict[str, Any]:
+    """Serialize any fitted repro estimator to a JSON-compatible dict."""
+    if isinstance(estimator, (LinearRegression, Ridge, Lasso)):
+        if estimator.coef_ is None:
+            raise ValidationError("cannot serialize an unfitted linear model")
+        data: dict[str, Any] = {
+            "type": type(estimator).__name__,
+            "coef": _array(estimator.coef_),
+            "intercept": float(estimator.intercept_),
+        }
+        if isinstance(estimator, Ridge):
+            data["alpha"] = estimator.alpha
+        if isinstance(estimator, Lasso):
+            data["alpha"] = estimator.alpha
+        return data
+    if isinstance(estimator, DecisionTreeRegressor):
+        if estimator._root is None:
+            raise ValidationError("cannot serialize an unfitted tree")
+        return {
+            "type": "DecisionTreeRegressor",
+            "n_features": estimator.n_features_,
+            "root": _node_to_dict(estimator._root),
+        }
+    if isinstance(estimator, RandomForestRegressor):
+        if estimator.trees_ is None:
+            raise ValidationError("cannot serialize an unfitted forest")
+        return {
+            "type": "RandomForestRegressor",
+            "trees": [serialize_estimator(t) for t in estimator.trees_],
+        }
+    if isinstance(estimator, SVR):
+        if estimator.beta_ is None:
+            raise ValidationError("cannot serialize an unfitted SVR")
+        assert estimator._scaler is not None and estimator._X is not None
+        return {
+            "type": "SVR",
+            "beta": _array(estimator.beta_),
+            "support_X": [_array(row) for row in estimator._X],
+            "gamma": float(estimator.gamma_),
+            "scaler_mean": _array(estimator._scaler.mean_),
+            "scaler_scale": _array(estimator._scaler.scale_),
+            "C": estimator.C,
+            "epsilon": estimator.epsilon,
+        }
+    raise ValidationError(
+        f"don't know how to serialize {type(estimator).__name__}"
+    )
+
+
+def deserialize_estimator(data: dict[str, Any]) -> Estimator:
+    """Rebuild an estimator serialized by :func:`serialize_estimator`."""
+    kind = data.get("type")
+    if kind in ("LinearRegression", "Ridge", "Lasso"):
+        if kind == "LinearRegression":
+            est: Any = LinearRegression()
+        elif kind == "Ridge":
+            est = Ridge(alpha=float(data.get("alpha", 1.0)))
+        else:
+            est = Lasso(alpha=float(data.get("alpha", 0.01)))
+        est.coef_ = np.asarray(data["coef"], dtype=float)
+        est.intercept_ = float(data["intercept"])
+        return est
+    if kind == "DecisionTreeRegressor":
+        tree = DecisionTreeRegressor()
+        tree.n_features_ = int(data["n_features"])
+        tree._root = _node_from_dict(data["root"])
+        return tree
+    if kind == "RandomForestRegressor":
+        forest = RandomForestRegressor(n_estimators=max(len(data["trees"]), 1))
+        forest.trees_ = [deserialize_estimator(t) for t in data["trees"]]  # type: ignore[misc]
+        return forest
+    if kind == "SVR":
+        svr = SVR(C=float(data["C"]), epsilon=float(data["epsilon"]))
+        svr.beta_ = np.asarray(data["beta"], dtype=float)
+        svr._X = np.asarray(data["support_X"], dtype=float)
+        svr.gamma_ = float(data["gamma"])
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(data["scaler_mean"], dtype=float)
+        scaler.scale_ = np.asarray(data["scaler_scale"], dtype=float)
+        svr._scaler = scaler
+        return svr
+    raise ValidationError(f"unknown estimator type {kind!r}")

@@ -1,0 +1,203 @@
+"""CART regression tree.
+
+Standard variance-reduction splitting with sorted-scan split search: for each
+candidate feature the samples are sorted once and prefix sums of ``y`` and
+``y²`` give every split's SSE in O(n). Supports per-node feature subsampling
+(``max_features``) for random-forest use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_rng
+from repro.ml.base import Estimator, check_Xy
+
+
+@dataclass
+class _Node:
+    """Tree node: either a leaf (``value``) or an internal split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    X: np.ndarray, y: np.ndarray, features: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best ``(feature, threshold, sse_gain)`` over candidate features.
+
+    Returns ``None`` when no split satisfies the leaf-size constraint or
+    improves the SSE.
+    """
+    n = y.shape[0]
+    total_sum = float(y.sum())
+    total_sq = float((y**2).sum())
+    parent_sse = total_sq - total_sum**2 / n
+
+    best: tuple[int, float, float] | None = None
+    for j in features:
+        order = np.argsort(X[:, j], kind="stable")
+        xs = X[order, j]
+        ys = y[order]
+        # Candidate split positions: between distinct consecutive x values,
+        # honouring the minimum leaf size on both sides.
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys**2)
+        idx = np.arange(1, n)  # left part has idx samples
+        valid = (xs[1:] != xs[:-1]) & (idx >= min_leaf) & (n - idx >= min_leaf)
+        if not np.any(valid):
+            continue
+        k = idx[valid]
+        left_sum, left_sq = csum[k - 1], csq[k - 1]
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+        sse = (
+            left_sq
+            - left_sum**2 / k
+            + right_sq
+            - right_sum**2 / (n - k)
+        )
+        i = int(np.argmin(sse))
+        gain = parent_sse - float(sse[i])
+        if gain <= 1e-12:
+            continue
+        split_at = k[i]
+        threshold = float((xs[split_at - 1] + xs[split_at]) / 2.0)
+        if best is None or gain > best[2]:
+            best = (int(j), threshold, gain)
+    return best
+
+
+class DecisionTreeRegressor(Estimator):
+    """Binary regression tree minimizing within-leaf variance."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValidationError(f"max_depth must be >= 1 ({max_depth!r})")
+        if min_samples_split < 2:
+            raise ValidationError(
+                f"min_samples_split must be >= 2 ({min_samples_split!r})"
+            )
+        if min_samples_leaf < 1:
+            raise ValidationError(
+                f"min_samples_leaf must be >= 1 ({min_samples_leaf!r})"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    def _n_candidate_features(self, p: int) -> int:
+        if self.max_features is None:
+            return p
+        if isinstance(self.max_features, float):
+            if not 0.0 < self.max_features <= 1.0:
+                raise ValidationError(
+                    f"fractional max_features must be in (0, 1] "
+                    f"({self.max_features!r})"
+                )
+            return max(1, int(round(self.max_features * p)))
+        if self.max_features < 1:
+            raise ValidationError(f"max_features must be >= 1 ({self.max_features!r})")
+        return min(int(self.max_features), p)
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        self.n_features_ = X.shape[1]
+        rng = make_rng(self.seed)
+        k = self._n_candidate_features(X.shape[1])
+        self._root = self._grow(X, y, depth=0, rng=rng, k_features=k)
+        return self
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng, k_features: int
+    ) -> _Node:
+        node = _Node(value=float(y.mean()))
+        n, p = X.shape
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(y == y[0])
+        ):
+            return node
+        if k_features < p:
+            features = rng.choice(p, size=k_features, replace=False)
+        else:
+            features = np.arange(p)
+        split = _best_split(X, y, features, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng, k_features)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng, k_features)
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("_root")
+        X, _ = check_Xy(X)
+        assert self.n_features_ is not None
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"feature count mismatch: fitted {self.n_features_}, "
+                f"got {X.shape[1]}"
+            )
+        out = np.empty(X.shape[0], dtype=float)
+        for i, row in enumerate(X):
+            node = self._root
+            assert node is not None
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (a root-only tree has depth 0)."""
+        self._check_fitted("_root")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        assert self._root is not None
+        return _depth(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        self._check_fitted("_root")
+
+        def _count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return _count(node.left) + _count(node.right)
+
+        assert self._root is not None
+        return _count(self._root)

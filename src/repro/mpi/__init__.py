@@ -1,0 +1,21 @@
+"""Simulated MPI over the simulated cluster.
+
+Weak-scaling evaluation (Fig. 10) needs distributed-memory execution where
+*execution time includes computation and communication while the energy
+accounting covers only the GPU devices*. This package provides:
+
+- :mod:`~repro.mpi.network` — an InfiniBand-EDR-with-DragonFly+-flavoured
+  latency/bandwidth model distinguishing intra-node (NVLink-class) from
+  inter-node transfers,
+- :mod:`~repro.mpi.comm` — an mpi4py-shaped communicator whose operations
+  advance the per-rank virtual clocks (barrier, allreduce, halo exchange,
+  point-to-point),
+- :mod:`~repro.mpi.launcher` — ``mpiexec``-like helpers binding one rank
+  per allocated GPU of a SLURM job.
+"""
+
+from repro.mpi.comm import SimulatedComm
+from repro.mpi.launcher import launch_ranks
+from repro.mpi.network import NetworkModel
+
+__all__ = ["SimulatedComm", "NetworkModel", "launch_ranks"]

@@ -1,0 +1,149 @@
+"""Simulated MPI communicator.
+
+One rank per GPU; each rank's progress is its GPU's virtual clock.
+Collective operations synchronize the participating clocks (a collective
+completes for everyone when the slowest participant plus the transfer cost
+is done), matching how weak-scaling applications experience communication.
+
+Only the time/energy accounting is simulated — payload values are passed
+through Python directly (ranks live in one process), mirroring the mpi4py
+"communicate a Python object" style for convenience in the mini-apps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.hw.device import SimulatedGPU
+from repro.mpi.network import NetworkModel
+
+
+class SimulatedComm:
+    """An MPI_COMM_WORLD over a list of GPUs (one rank per board)."""
+
+    def __init__(
+        self,
+        gpus: list[SimulatedGPU],
+        node_of_rank: list[int],
+        network: NetworkModel | None = None,
+    ) -> None:
+        if not gpus:
+            raise ValidationError("communicator needs at least one rank")
+        if len(node_of_rank) != len(gpus):
+            raise ValidationError(
+                f"node_of_rank length {len(node_of_rank)} != ranks {len(gpus)}"
+            )
+        self.gpus = list(gpus)
+        self.node_of_rank = list(node_of_rank)
+        self.network = network if network is not None else NetworkModel()
+        #: Communication seconds accumulated per rank (time spent blocked
+        #: in MPI beyond local compute), for the time-includes-comm report.
+        self.comm_time_s = np.zeros(len(gpus))
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self.gpus)
+
+    def rank_now(self, rank: int) -> float:
+        """Virtual time of one rank."""
+        return self.gpus[rank].clock.now
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValidationError(f"rank {rank} out of range (size {self.size})")
+
+    # ------------------------------------------------------------ primitives
+
+    def barrier(self) -> float:
+        """Synchronize all ranks; returns the post-barrier time."""
+        t = max(g.clock.now for g in self.gpus)
+        for rank, gpu in enumerate(self.gpus):
+            self.comm_time_s[rank] += t - gpu.clock.now
+            gpu.clock.advance_to(t)
+        return t
+
+    def send_recv(self, src: int, dst: int, nbytes: float) -> float:
+        """Blocking transfer ``src → dst``; returns completion time.
+
+        The receiver completes at ``max(t_src, t_dst) + transfer``; the
+        sender is released once the message is handed off (eager model) at
+        ``t_src + software overhead``.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValidationError("send_recv needs distinct ranks")
+        t_src = self.gpus[src].clock.now
+        t_dst = self.gpus[dst].clock.now
+        cost = self.network.transfer_time(
+            nbytes, self.node_of_rank[src], self.node_of_rank[dst]
+        )
+        done = max(t_src, t_dst) + cost
+        self.comm_time_s[dst] += done - t_dst
+        self.gpus[dst].clock.advance_to(done)
+        sender_done = t_src + self.network.software_overhead_s
+        if sender_done > self.gpus[src].clock.now:
+            self.comm_time_s[src] += sender_done - t_src
+            self.gpus[src].clock.advance_to(sender_done)
+        return done
+
+    def allreduce(self, nbytes: float) -> float:
+        """Ring allreduce over all ranks; returns the completion time."""
+        t = max(g.clock.now for g in self.gpus)
+        cost = self.network.allreduce_time(nbytes, self.node_of_rank)
+        done = t + cost
+        for rank, gpu in enumerate(self.gpus):
+            self.comm_time_s[rank] += done - gpu.clock.now
+            gpu.clock.advance_to(done)
+        return done
+
+    def halo_exchange(self, nbytes_per_neighbor: float, ring: bool = True) -> float:
+        """Nearest-neighbour exchange (both directions); returns finish time.
+
+        Each rank swaps halos with its ±1 neighbours (periodic when
+        ``ring``). All exchanges proceed concurrently; every rank completes
+        at ``max(own, neighbours) + 2·worst-link transfer``.
+        """
+        if self.size == 1:
+            return self.gpus[0].clock.now
+        times = np.array([g.clock.now for g in self.gpus])
+        new_times = times.copy()
+        for rank in range(self.size):
+            neighbours = []
+            if ring:
+                neighbours = [(rank - 1) % self.size, (rank + 1) % self.size]
+            else:
+                if rank > 0:
+                    neighbours.append(rank - 1)
+                if rank < self.size - 1:
+                    neighbours.append(rank + 1)
+            ready = max([times[rank]] + [times[n] for n in neighbours])
+            worst = max(
+                self.network.transfer_time(
+                    nbytes_per_neighbor,
+                    self.node_of_rank[rank],
+                    self.node_of_rank[n],
+                )
+                for n in neighbours
+            )
+            new_times[rank] = ready + 2.0 * worst  # send + receive phases
+        for rank, gpu in enumerate(self.gpus):
+            self.comm_time_s[rank] += new_times[rank] - times[rank]
+            gpu.clock.advance_to(float(new_times[rank]))
+        return float(new_times.max())
+
+    # ------------------------------------------------------------- reporting
+
+    def elapsed_max(self, since: float = 0.0) -> float:
+        """Wall time of the slowest rank since ``since``."""
+        return max(g.clock.now for g in self.gpus) - since
+
+    def total_gpu_energy(self, t0: float, t1_per_rank: list[float] | None = None) -> float:
+        """True GPU energy across all ranks from ``t0`` (to each rank's now)."""
+        total = 0.0
+        for rank, gpu in enumerate(self.gpus):
+            t1 = gpu.clock.now if t1_per_rank is None else t1_per_rank[rank]
+            total += gpu.energy_between(t0, t1)
+        return total

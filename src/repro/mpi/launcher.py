@@ -1,0 +1,40 @@
+"""``mpiexec``-like rank binding for SLURM jobs.
+
+Maps a job's allocation (nodes × GPUs) to an MPI communicator with one rank
+per board, node-major — the standard ``--ntasks-per-node=<gpus>`` binding
+used on Marconi-100.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.mpi.comm import SimulatedComm
+from repro.mpi.network import NetworkModel
+from repro.slurm.job import JobContext
+
+
+def launch_ranks(
+    context: JobContext,
+    network: NetworkModel | None = None,
+    ranks_per_node: int | None = None,
+) -> SimulatedComm:
+    """Build the communicator for a running job (one rank per GPU).
+
+    ``ranks_per_node`` limits how many boards per node get a rank (defaults
+    to all of them).
+    """
+    gpus = []
+    node_of_rank = []
+    for node_index, node in enumerate(context.nodes):
+        boards = node.gpus
+        if ranks_per_node is not None:
+            if ranks_per_node < 1 or ranks_per_node > len(boards):
+                raise ValidationError(
+                    f"ranks_per_node {ranks_per_node} invalid for node with "
+                    f"{len(boards)} GPUs"
+                )
+            boards = boards[:ranks_per_node]
+        for gpu in boards:
+            gpus.append(gpu)
+            node_of_rank.append(node_index)
+    return SimulatedComm(gpus, node_of_rank, network=network)

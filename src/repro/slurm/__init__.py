@@ -1,0 +1,31 @@
+"""Simulated SLURM with the ``nvgpufreq`` energy plugin (paper §7).
+
+- :mod:`~repro.slurm.cluster` — nodes, GRES tags, GPUs-per-node topology,
+- :mod:`~repro.slurm.job` — job specs (GRES requests, exclusivity, node
+  counts) and job lifecycle state,
+- :mod:`~repro.slurm.scheduler` — a slurmctld-like FIFO scheduler with
+  prologue/epilogue hook chains and per-job GPU energy accounting,
+- :mod:`~repro.slurm.plugin` — the ``nvgpufreq`` plugin: the §7.2 decision
+  procedure that temporarily lowers NVML clock privileges for exclusive,
+  GRES-tagged jobs and restores a consistent performance state afterwards.
+"""
+
+from repro.slurm.cluster import Cluster, Node
+from repro.slurm.job import Job, JobSpec, JobState
+from repro.slurm.plugin import NvGpuFreqPlugin, PluginDecision
+from repro.slurm.powercap import PowerCapPlugin, redistribute_caps
+from repro.slurm.scheduler import Scheduler, SchedulerPlugin
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "Scheduler",
+    "SchedulerPlugin",
+    "NvGpuFreqPlugin",
+    "PluginDecision",
+    "PowerCapPlugin",
+    "redistribute_caps",
+]

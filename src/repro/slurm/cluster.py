@@ -1,0 +1,124 @@
+"""Cluster and node model.
+
+A Marconi-100-like cluster: nodes with several GPUs each, GRES tags
+(``nvgpufreq`` marks nodes whose boards allow the plugin's privilege
+dance), and a shared virtual clock. Cluster provisioning restores the
+production posture: every GPU starts API-restricted at default clocks.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import GPUSpec
+from repro.vendor.nvml import NVMLLibrary
+
+#: The GRES tag gating the paper's frequency-scaling capability.
+NVGPUFREQ_GRES = "nvgpufreq"
+
+
+class Node:
+    """One compute node: GPUs, GRES tags, and its local NVML instance."""
+
+    def __init__(
+        self,
+        name: str,
+        gpus: list[SimulatedGPU],
+        gres: set[str] | None = None,
+        nvml_available: bool = True,
+    ) -> None:
+        if not gpus:
+            raise ConfigurationError(f"node {name!r} needs at least one GPU")
+        self.name = name
+        self.gpus = list(gpus)
+        self.gres: set[str] = set(gres or ())
+        if all(g.spec.vendor == "nvidia" for g in gpus):
+            self.nvml = NVMLLibrary(self.gpus, available=nvml_available)
+        else:
+            self.nvml = None
+        #: Job id currently running here, None when idle.
+        self.running_job: int | None = None
+        #: Whether the running job holds the node exclusively.
+        self.exclusive: bool = False
+
+    @property
+    def gpu_count(self) -> int:
+        """Number of boards on the node."""
+        return len(self.gpus)
+
+    def has_gres(self, tag: str) -> bool:
+        """Whether the node carries a GRES tag."""
+        return tag in self.gres
+
+    @property
+    def idle(self) -> bool:
+        """Whether no job occupies the node."""
+        return self.running_job is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, gpus={self.gpu_count}, gres={sorted(self.gres)})"
+
+
+class Cluster:
+    """A set of nodes sharing one virtual clock."""
+
+    def __init__(self, nodes: list[Node], clock: VirtualClock) -> None:
+        if not nodes:
+            raise ConfigurationError("cluster needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate node names in cluster")
+        self.nodes = list(nodes)
+        self.clock = clock
+
+    @classmethod
+    def build(
+        cls,
+        spec: GPUSpec,
+        n_nodes: int,
+        gpus_per_node: int = 4,
+        gres: set[str] | None = None,
+        clock: VirtualClock | None = None,
+    ) -> "Cluster":
+        """Provision a homogeneous cluster in production posture.
+
+        Every GPU starts with API restriction enabled (only root may change
+        clocks) and driver-default clocks — the state §2.3 describes for
+        large installations.
+        """
+        if n_nodes < 1 or gpus_per_node < 1:
+            raise ConfigurationError(
+                f"invalid topology: {n_nodes} nodes x {gpus_per_node} GPUs"
+            )
+        clk = clock if clock is not None else VirtualClock()
+        nodes = []
+        for i in range(n_nodes):
+            gpus = []
+            for j in range(gpus_per_node):
+                # Each board gets its own clock so MPI ranks progress
+                # concurrently in virtual time; the scheduler synchronizes
+                # device clocks with the cluster wall clock at job edges.
+                gpu = SimulatedGPU(
+                    spec, clock=VirtualClock(clk.now), index=i * gpus_per_node + j
+                )
+                gpu.set_api_restriction(True)
+                gpus.append(gpu)
+            nodes.append(Node(name=f"node{i:03d}", gpus=gpus, gres=set(gres or ())))
+        return cls(nodes, clk)
+
+    @property
+    def total_gpus(self) -> int:
+        """Total boards across the cluster."""
+        return sum(n.gpu_count for n in self.nodes)
+
+    def idle_nodes(self) -> list[Node]:
+        """Nodes with no running job."""
+        return [n for n in self.nodes if n.idle]
+
+    def get_node(self, name: str) -> Node:
+        """Look a node up by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ConfigurationError(f"unknown node {name!r}")

@@ -1,0 +1,113 @@
+"""The ``nvgpufreq`` SLURM plugin (paper §7.2).
+
+The plugin intercepts each job's prologue and epilogue. In the prologue it
+runs the paper's check chain and only if *every* check passes does it lower
+the NVML API restriction on the job's boards:
+
+1. node info retrievable from slurmctld,
+2. the node is tagged with the ``nvgpufreq`` GRES,
+3. the NVML shared object can be loaded (dlopen),
+4. the job requested the ``nvgpufreq`` GRES,
+5. the job runs exclusively on the node.
+
+In the epilogue it unconditionally restores the node to a consistent
+performance state: clocks back to driver defaults (the paper resets to the
+maximum performance state) and privileges re-raised — preventing the §2.3
+hazard of one job's low clocks leaking into the next job.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.slurm.cluster import NVGPUFREQ_GRES, Node
+from repro.slurm.job import Job
+from repro.vendor.nvml import (
+    NVML_FEATURE_DISABLED,
+    NVML_FEATURE_ENABLED,
+    NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS,
+)
+
+
+class PluginDecision(enum.Enum):
+    """Why the prologue did (or did not) grant clock privileges."""
+
+    GRANTED = "granted"
+    NODE_INFO_UNAVAILABLE = "node info unavailable"
+    NODE_NOT_TAGGED = "node lacks nvgpufreq GRES"
+    NVML_UNAVAILABLE = "NVML shared object not loadable"
+    JOB_NOT_TAGGED = "job did not request nvgpufreq GRES"
+    JOB_NOT_EXCLUSIVE = "job does not hold the node exclusively"
+
+
+class NvGpuFreqPlugin:
+    """Prologue/epilogue pair granting temporary GPU clock privileges."""
+
+    def __init__(self) -> None:
+        #: Per (job_id, node name) prologue decisions, for tests/auditing.
+        self.decisions: dict[tuple[int, str], PluginDecision] = {}
+
+    # -------------------------------------------------------------- prologue
+
+    def prologue(self, job: Job, node: Node) -> PluginDecision:
+        """Run the §7.2 check chain; lower privileges only if all pass."""
+        decision = self._evaluate(job, node)
+        self.decisions[(job.job_id, node.name)] = decision
+        if decision is PluginDecision.GRANTED:
+            self._set_restriction(node, NVML_FEATURE_DISABLED)
+        return decision
+
+    def _evaluate(self, job: Job, node: Node) -> PluginDecision:
+        if node is None:  # slurmctld lookup failed
+            return PluginDecision.NODE_INFO_UNAVAILABLE
+        if not node.has_gres(NVGPUFREQ_GRES):
+            return PluginDecision.NODE_NOT_TAGGED
+        if node.nvml is None or not node.nvml.available:
+            return PluginDecision.NVML_UNAVAILABLE
+        if not job.spec.requests_gres(NVGPUFREQ_GRES):
+            return PluginDecision.JOB_NOT_TAGGED
+        if not job.spec.exclusive:
+            return PluginDecision.JOB_NOT_EXCLUSIVE
+        return PluginDecision.GRANTED
+
+    # -------------------------------------------------------------- epilogue
+
+    def epilogue(self, job: Job, node: Node) -> None:
+        """Full cleanup: default clocks and re-raised privileges.
+
+        Runs for every job on a plugin-capable node regardless of the
+        prologue decision ("when the job terminates for any reason"), so a
+        node can never be left in a degraded state.
+        """
+        if node.nvml is None or not node.nvml.available:
+            return
+        was_root = node.nvml.effective_root
+        node.nvml.effective_root = True
+        try:
+            node.nvml.nvmlInit()
+            for i in range(node.nvml.nvmlDeviceGetCount()):
+                handle = node.nvml.nvmlDeviceGetHandleByIndex(i)
+                node.nvml.nvmlDeviceResetApplicationsClocks(handle)
+                node.nvml.nvmlDeviceSetAPIRestriction(
+                    handle,
+                    NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS,
+                    NVML_FEATURE_ENABLED,
+                )
+        finally:
+            node.nvml.effective_root = was_root
+
+    # -------------------------------------------------------------- internal
+
+    def _set_restriction(self, node: Node, state: int) -> None:
+        assert node.nvml is not None
+        was_root = node.nvml.effective_root
+        node.nvml.effective_root = True
+        try:
+            node.nvml.nvmlInit()
+            for i in range(node.nvml.nvmlDeviceGetCount()):
+                handle = node.nvml.nvmlDeviceGetHandleByIndex(i)
+                node.nvml.nvmlDeviceSetAPIRestriction(
+                    handle, NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS, state
+                )
+        finally:
+            node.nvml.effective_root = was_root

@@ -1,0 +1,99 @@
+"""Cluster power capping (paper §2.3).
+
+SLURM's integrated power management "takes the configured power cap for
+the system and distributes it across the nodes ..., lowers the power caps
+on nodes that are consuming less than their cap and redistributes that
+power to other nodes, with configurable power thresholds". This module
+provides that coarse-grained mechanism as a scheduler plugin, the paper's
+counterpoint to SYnergy's fine-grained per-kernel tuning:
+
+- :class:`PowerCapPlugin` — prologue applies per-GPU power limits derived
+  from the job's node budget (through NVML, as root); epilogue restores
+  the factory limits,
+- :func:`redistribute_caps` — SLURM's reallocation rule as a pure
+  function: under-consuming nodes shed budget (down to a floor), which is
+  handed to capped-out nodes (up to a ceiling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.slurm.cluster import Node
+from repro.slurm.job import Job
+
+
+def redistribute_caps(
+    caps_w: list[float],
+    usage_w: list[float],
+    floor_w: float,
+    ceiling_w: float,
+    threshold: float = 0.05,
+) -> list[float]:
+    """One SLURM power-management rebalancing step.
+
+    Nodes using less than ``(1 - threshold)`` of their cap donate the
+    headroom above usage (never dropping below ``floor_w``); the pooled
+    donation is split evenly among nodes at ``>= (1 - threshold)`` of
+    their cap, each clipped to ``ceiling_w``. Total budget is conserved
+    up to ceiling clipping.
+    """
+    if len(caps_w) != len(usage_w):
+        raise ValidationError(
+            f"caps/usage length mismatch: {len(caps_w)} vs {len(usage_w)}"
+        )
+    if not 0.0 <= threshold < 1.0:
+        raise ValidationError(f"threshold must be in [0, 1) ({threshold!r})")
+    if floor_w <= 0 or ceiling_w < floor_w:
+        raise ValidationError(
+            f"need 0 < floor <= ceiling ({floor_w!r}, {ceiling_w!r})"
+        )
+    caps = np.asarray(caps_w, dtype=float)
+    usage = np.asarray(usage_w, dtype=float)
+    if np.any(caps < floor_w - 1e-9) or np.any(caps > ceiling_w + 1e-9):
+        raise ValidationError("existing caps outside [floor, ceiling]")
+
+    under = usage < (1.0 - threshold) * caps
+    hungry = ~under
+    new_caps = caps.copy()
+    # Donors keep a small margin above their current usage.
+    donor_target = np.maximum(usage * (1.0 + threshold), floor_w)
+    donation = np.sum(np.where(under, caps - donor_target, 0.0))
+    new_caps[under] = donor_target[under]
+    if donation > 0 and np.any(hungry):
+        share = donation / int(np.sum(hungry))
+        new_caps[hungry] = np.minimum(caps[hungry] + share, ceiling_w)
+    return [float(c) for c in new_caps]
+
+
+class PowerCapPlugin:
+    """Per-job GPU power capping through the NVML power-limit API.
+
+    ``node_budget_w`` is the GPU power budget per allocated node; the
+    prologue splits it evenly across the node's boards and applies it as
+    each board's power limit (root path). The epilogue restores factory
+    limits, so caps can never leak into the next job — same hygiene as the
+    nvgpufreq plugin.
+    """
+
+    def __init__(self, node_budget_w: float) -> None:
+        if node_budget_w <= 0:
+            raise ValidationError(f"node budget must be positive ({node_budget_w!r})")
+        self.node_budget_w = float(node_budget_w)
+        #: (job_id, node name) -> applied per-GPU limit (W), for auditing.
+        self.applied: dict[tuple[int, str], float] = {}
+
+    def prologue(self, job: Job, node: Node) -> None:
+        """Split the node budget across boards and apply the limits."""
+        per_gpu = self.node_budget_w / node.gpu_count
+        for gpu in node.gpus:
+            # Clamp into the board's valid limit range.
+            limit = min(max(per_gpu, gpu.spec.idle_power_w), gpu.default_power_limit_w)
+            gpu.set_power_limit(limit, privileged=True)
+        self.applied[(job.job_id, node.name)] = per_gpu
+
+    def epilogue(self, job: Job, node: Node) -> None:
+        """Restore factory power limits on every board."""
+        for gpu in node.gpus:
+            gpu.reset_power_limit(privileged=True)

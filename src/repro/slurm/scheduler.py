@@ -1,0 +1,147 @@
+"""slurmctld-like scheduler.
+
+FIFO allocation over idle nodes with a plugin hook chain around each job:
+``prologue(job, node)`` on every allocated node before the payload runs,
+``epilogue(job, node)`` after it finishes (success or failure). Per-job GPU
+energy accounting integrates each allocated board's true energy over the
+job's window — SLURM's energy accounting (§2.3) at job granularity.
+
+Jobs run to completion at submit time (the virtual clock advances through
+the payload), so ``submit`` doubles as ``sbatch --wait``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Protocol
+
+from repro.common.errors import ConfigurationError
+from repro.slurm.cluster import Cluster, Node
+from repro.slurm.job import Job, JobContext, JobSpec, JobState
+
+
+class SchedulerPlugin(Protocol):
+    """Prologue/epilogue plugin interface (the SLURM extension hooks)."""
+
+    def prologue(self, job: Job, node: Node) -> object:  # pragma: no cover
+        """Runs on each allocated node before the job payload."""
+        ...
+
+    def epilogue(self, job: Job, node: Node) -> None:  # pragma: no cover
+        """Runs on each allocated node after the job payload."""
+        ...
+
+
+class Scheduler:
+    """FIFO scheduler with plugin hooks and energy accounting."""
+
+    def __init__(self, cluster: Cluster, plugins: list[SchedulerPlugin] | None = None):
+        self.cluster = cluster
+        self.plugins = list(plugins or [])
+        self._job_ids = itertools.count(1)
+        self.jobs: dict[int, Job] = {}
+
+    def add_plugin(self, plugin: SchedulerPlugin) -> None:
+        """Register a prologue/epilogue plugin."""
+        self.plugins.append(plugin)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Allocate, run hooks, execute the payload, account, clean up."""
+        job = Job(
+            job_id=next(self._job_ids),
+            spec=spec,
+            submit_time_s=self.cluster.clock.now,
+        )
+        self.jobs[job.job_id] = job
+
+        nodes = self._allocate(spec)
+        job.nodes = nodes
+        for node in nodes:
+            node.running_job = job.job_id
+            node.exclusive = spec.exclusive
+
+        job.state = JobState.RUNNING
+        # Synchronize: the job starts when the wall clock and every
+        # allocated board agree on the time.
+        start = max(
+            [self.cluster.clock.now]
+            + [gpu.clock.now for node in nodes for gpu in node.gpus]
+        )
+        self.cluster.clock.advance_to(start)
+        for node in nodes:
+            for gpu in node.gpus:
+                gpu.clock.advance_to(start)
+        job.start_time_s = start
+        for plugin in self.plugins:
+            for node in nodes:
+                plugin.prologue(job, node)
+
+        try:
+            if spec.payload is not None:
+                context = JobContext(
+                    job_id=job.job_id, nodes=nodes, clock=self.cluster.clock
+                )
+                job.result = spec.payload(context)
+            job.state = JobState.COMPLETED
+        except Exception as exc:  # payload failures must not wedge the node
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            # The job ends when its slowest board drains; re-synchronize
+            # every allocated board and the wall clock to that instant.
+            end = max(
+                [self.cluster.clock.now]
+                + [gpu.clock.now for node in nodes for gpu in node.gpus]
+            )
+            self.cluster.clock.advance_to(end)
+            for node in nodes:
+                for gpu in node.gpus:
+                    gpu.clock.advance_to(end)
+            job.end_time_s = end
+            job.gpu_energy_j = self._account_energy(job)
+            for plugin in self.plugins:
+                for node in nodes:
+                    plugin.epilogue(job, node)
+            for node in nodes:
+                node.running_job = None
+                node.exclusive = False
+        return job
+
+    # ------------------------------------------------------------ allocation
+
+    def _allocate(self, spec: JobSpec) -> list[Node]:
+        idle = self.cluster.idle_nodes()
+        if len(idle) < spec.n_nodes:
+            raise ConfigurationError(
+                f"job {spec.name!r} needs {spec.n_nodes} nodes; only "
+                f"{len(idle)} idle"
+            )
+        return idle[: spec.n_nodes]
+
+    # ------------------------------------------------------------ accounting
+
+    def _account_energy(self, job: Job) -> float:
+        """True GPU energy (J) over the job's execution window."""
+        assert job.start_time_s is not None and job.end_time_s is not None
+        total = 0.0
+        for node in job.nodes:
+            for gpu in node.gpus:
+                total += gpu.energy_between(job.start_time_s, job.end_time_s)
+        return total
+
+    def job_report(self, job_id: int) -> dict[str, object]:
+        """``sacct``-style summary for one job."""
+        if job_id not in self.jobs:
+            raise ConfigurationError(f"unknown job id {job_id}")
+        job = self.jobs[job_id]
+        return {
+            "job_id": job.job_id,
+            "name": job.spec.name,
+            "state": job.state.value,
+            "nodes": [n.name for n in job.nodes],
+            "elapsed_s": job.elapsed_s,
+            "gpu_energy_j": job.gpu_energy_j,
+            "error": job.error,
+        }

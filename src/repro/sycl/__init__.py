@@ -1,0 +1,48 @@
+"""Mini-SYCL runtime.
+
+A faithful-in-shape Python rendition of the SYCL 2020 constructs the SYnergy
+API wraps (§4.1): ``queue``, ``buffer``, ``accessor``, ``handler`` with
+``parallel_for``, ``event``, and device selectors. Kernels are
+:class:`~repro.kernelir.kernel.KernelIR` objects — exactly the view the
+paper's compiler pass has of a kernel — optionally carrying a host-side
+NumPy implementation so examples compute real results.
+
+Execution is eager in virtual time: submitting a command group times the
+kernel on the simulated GPU, advances the shared
+:class:`~repro.common.clock.VirtualClock`, and returns a completed-on-wait
+:class:`~repro.sycl.event.Event`, mirroring SYCL's asynchronous semantics
+without wall-clock threads.
+"""
+
+from repro.sycl.accessor import AccessMode, Accessor, read_only, read_write, write_only
+from repro.sycl.buffer import Buffer
+from repro.sycl.device import (
+    SyclDevice,
+    cpu_selector_v,
+    default_selector_v,
+    gpu_selector_v,
+    select_device,
+    set_default_device,
+)
+from repro.sycl.event import Event, EventStatus
+from repro.sycl.handler import Handler
+from repro.sycl.queue import Queue
+
+__all__ = [
+    "Queue",
+    "Buffer",
+    "Accessor",
+    "AccessMode",
+    "read_only",
+    "write_only",
+    "read_write",
+    "Handler",
+    "Event",
+    "EventStatus",
+    "SyclDevice",
+    "gpu_selector_v",
+    "cpu_selector_v",
+    "default_selector_v",
+    "select_device",
+    "set_default_device",
+]

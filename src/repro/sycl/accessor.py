@@ -1,0 +1,76 @@
+"""SYCL accessors.
+
+Accessors declare how a command group touches a buffer; the handler collects
+them to build the dependency edges and to pass host array views into kernels
+that carry a host implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.sycl.buffer import Buffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sycl.handler import Handler
+
+
+class AccessMode(enum.Enum):
+    """SYCL 2020 access modes (subset)."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+    @property
+    def writes(self) -> bool:
+        """Whether this mode can modify the buffer."""
+        return self is not AccessMode.READ
+
+
+#: SYCL 2020 accessor tag objects.
+read_only = AccessMode.READ
+write_only = AccessMode.WRITE
+read_write = AccessMode.READ_WRITE
+
+
+class Accessor:
+    """Declared access of one command group to one buffer."""
+
+    def __init__(
+        self, buffer: Buffer, handler: "Handler", mode: AccessMode = read_write
+    ) -> None:
+        if not isinstance(mode, AccessMode):
+            raise ValidationError(f"invalid access mode {mode!r}")
+        self.buffer = buffer
+        self.mode = mode
+        handler.register_accessor(self)
+
+    @property
+    def view(self) -> np.ndarray:
+        """Host array view honouring the access mode (read-only is enforced)."""
+        arr = self.buffer.data
+        if self.mode is AccessMode.READ:
+            ro = arr.view()
+            ro.flags.writeable = False
+            return ro
+        return arr
+
+    def __getitem__(self, idx):
+        """Element read (host-side convenience, e.g. in host kernels)."""
+        return self.buffer.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        """Element write; rejected for read-only accessors."""
+        if self.mode is AccessMode.READ:
+            raise ValidationError(
+                f"cannot write through read-only accessor of {self.buffer.name!r}"
+            )
+        self.buffer.data[idx] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Accessor({self.buffer.name!r}, {self.mode.value})"

@@ -1,0 +1,84 @@
+"""SYCL buffers.
+
+A :class:`Buffer` owns a NumPy array and tracks the last event that wrote it
+so the runtime can order dependent command groups (RAW/WAR/WAW hazards) when
+computing kernel start times in virtual time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sycl.event import Event
+
+_buffer_ids = itertools.count()
+
+
+class Buffer:
+    """Device-visible data container backed by a host NumPy array."""
+
+    def __init__(
+        self,
+        data: np.ndarray | list | tuple | None = None,
+        shape: tuple[int, ...] | int | None = None,
+        dtype: np.dtype | type = np.float32,
+        name: str | None = None,
+    ) -> None:
+        if data is None and shape is None:
+            raise ValidationError("Buffer needs either data or a shape")
+        if data is not None:
+            self._data = np.array(data, copy=True)
+        else:
+            self._data = np.zeros(shape, dtype=dtype)
+        self.name = name if name is not None else f"buf{next(_buffer_ids)}"
+        #: Event that last wrote this buffer (for dependency ordering).
+        self.last_writer: "Event | None" = None
+        #: Events that read the buffer since the last write (WAR ordering).
+        self.readers: list["Event"] = []
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying host array (a live view, not a copy)."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self._data.shape
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return int(self._data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype."""
+        return self._data.dtype
+
+    def mark_write(self, event: "Event") -> None:
+        """Record ``event`` as the buffer's latest writer."""
+        self.last_writer = event
+        self.readers = []
+
+    def mark_read(self, event: "Event") -> None:
+        """Record ``event`` as an outstanding reader."""
+        self.readers.append(event)
+
+    def dependencies(self, writing: bool) -> list["Event"]:
+        """Events that must complete before an access of the given kind."""
+        deps: list[Event] = []
+        if self.last_writer is not None:
+            deps.append(self.last_writer)
+        if writing:
+            deps.extend(self.readers)
+        return deps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Buffer({self.name!r}, shape={self.shape}, dtype={self.dtype})"

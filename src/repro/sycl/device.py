@@ -1,0 +1,84 @@
+"""SYCL devices and selectors.
+
+``gpu_selector_v`` etc. mirror SYCL 2020 selector objects. Since there is no
+real driver stack, the "platform" is a process-global default device that
+tests and experiments install via :func:`set_default_device`; queues can
+always be constructed against an explicit device instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+
+
+@dataclass(frozen=True)
+class _Selector:
+    """A SYCL device selector sentinel."""
+
+    kind: str
+
+    def __repr__(self) -> str:
+        return f"{self.kind}_selector_v"
+
+
+#: Selects a GPU device (the only device type the simulation provides).
+gpu_selector_v = _Selector("gpu")
+#: Present for API completeness; resolves like the default selector.
+cpu_selector_v = _Selector("cpu")
+#: Selects whatever device the platform considers default.
+default_selector_v = _Selector("default")
+
+
+class SyclDevice:
+    """A SYCL device view over one simulated GPU."""
+
+    def __init__(self, gpu: SimulatedGPU) -> None:
+        self.gpu = gpu
+
+    @property
+    def name(self) -> str:
+        """Device marketing name (``info::device::name``)."""
+        return self.gpu.spec.name
+
+    @property
+    def vendor(self) -> str:
+        """Device vendor tag (``info::device::vendor``)."""
+        return self.gpu.spec.vendor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyclDevice({self.name!r}[{self.gpu.index}])"
+
+
+_default_device: SyclDevice | None = None
+
+
+def set_default_device(device: SyclDevice | SimulatedGPU | None) -> None:
+    """Install the device that selectors resolve to (None clears it)."""
+    global _default_device
+    if device is None:
+        _default_device = None
+    elif isinstance(device, SyclDevice):
+        _default_device = device
+    else:
+        _default_device = SyclDevice(device)
+
+
+def select_device(
+    selector: object | None = None,
+) -> SyclDevice:
+    """Resolve a selector (or an explicit device) to a :class:`SyclDevice`."""
+    if isinstance(selector, SyclDevice):
+        return selector
+    if isinstance(selector, SimulatedGPU):
+        return SyclDevice(selector)
+    if selector is None or isinstance(selector, _Selector):
+        if _default_device is None:
+            raise ConfigurationError(
+                "no default SYCL device installed; call "
+                "sycl.set_default_device(...) or pass a device explicitly"
+            )
+        return _default_device
+    raise ConfigurationError(f"cannot select a device from {selector!r}")

@@ -1,0 +1,91 @@
+"""SYCL events with profiling information.
+
+The SYnergy fine-grained profiler is built on SYCL event status/profiling
+queries (§4.2); events here expose submit/start/end timestamps in virtual
+time and the kernel execution record when one exists.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.device import KernelExecutionRecord, SimulatedGPU
+
+_event_ids = itertools.count()
+
+
+class EventStatus(enum.Enum):
+    """SYCL ``info::event_command_status`` values."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+
+class Event:
+    """Completion handle for one submitted command group."""
+
+    def __init__(
+        self,
+        device: "SimulatedGPU",
+        submit_s: float,
+        start_s: float,
+        end_s: float,
+        record: "KernelExecutionRecord | None" = None,
+    ) -> None:
+        if not submit_s <= start_s <= end_s:
+            raise SimulationError(
+                f"event timestamps out of order: submit={submit_s}, "
+                f"start={start_s}, end={end_s}"
+            )
+        self.event_id = next(_event_ids)
+        self.device = device
+        self.submit_s = submit_s
+        self.start_s = start_s
+        self.end_s = end_s
+        self.record = record
+
+    @property
+    def status(self) -> EventStatus:
+        """Command status relative to the current virtual time."""
+        now = self.device.clock.now
+        if now < self.start_s:
+            return EventStatus.SUBMITTED
+        if now < self.end_s:
+            return EventStatus.RUNNING
+        return EventStatus.COMPLETE
+
+    def wait(self) -> None:
+        """Block (in virtual time) until the command completes."""
+        if self.device.clock.now < self.end_s:
+            self.device.clock.advance_to(self.end_s)
+
+    def wait_and_throw(self) -> None:
+        """SYCL spelling of :meth:`wait` (no async errors in the sim)."""
+        self.wait()
+
+    def profiling_submit(self) -> float:
+        """``info::event_profiling::command_submit`` (seconds)."""
+        return self.submit_s
+
+    def profiling_start(self) -> float:
+        """``info::event_profiling::command_start`` (seconds)."""
+        return self.start_s
+
+    def profiling_end(self) -> float:
+        """``info::event_profiling::command_end`` (seconds)."""
+        return self.end_s
+
+    @property
+    def duration_s(self) -> float:
+        """Kernel execution time (seconds)."""
+        return self.end_s - self.start_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.record.kernel_name if self.record else "<no kernel>"
+        return f"Event(#{self.event_id}, {name}, [{self.start_s:.6f}, {self.end_s:.6f}])"

@@ -1,0 +1,57 @@
+"""SYCL command-group handler.
+
+User code receives a :class:`Handler` inside ``queue.submit(lambda h: ...)``
+and calls ``h.parallel_for(range, kernel)`` exactly once, as in SYCL. The
+kernel argument is a :class:`~repro.kernelir.kernel.KernelIR`; when the IR
+carries a host function, the handler exposes the registered accessors to it
+at execution time.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.kernelir.kernel import KernelIR
+from repro.sycl.accessor import Accessor
+
+
+class Handler:
+    """Collects the accessors and the single device kernel of a command group."""
+
+    def __init__(self) -> None:
+        self.accessors: list[Accessor] = []
+        self.kernel: KernelIR | None = None
+
+    def register_accessor(self, accessor: Accessor) -> None:
+        """Called by :class:`~repro.sycl.accessor.Accessor` on construction."""
+        self.accessors.append(accessor)
+
+    def parallel_for(self, size: int | tuple[int, ...], kernel: KernelIR) -> None:
+        """Enqueue the device kernel over a global range.
+
+        ``size`` overrides the IR's launch geometry (a SYCL ``range``); pass
+        the IR's own ``work_items`` to keep it. Only one ``parallel_for``
+        per command group is allowed, as in SYCL.
+        """
+        if self.kernel is not None:
+            raise ValidationError("command group already contains a parallel_for")
+        if not isinstance(kernel, KernelIR):
+            raise ValidationError(
+                f"kernel must be a KernelIR, got {type(kernel).__name__}"
+            )
+        if isinstance(size, tuple):
+            total = 1
+            for dim in size:
+                total *= int(dim)
+        else:
+            total = int(size)
+        if total <= 0:
+            raise ValidationError(f"parallel_for range must be positive ({size!r})")
+        self.kernel = kernel if total == kernel.work_items else kernel.with_work_items(total)
+
+    def single_task(self, kernel: KernelIR) -> None:
+        """Enqueue a single-work-item task (SYCL ``single_task``)."""
+        self.parallel_for(1, kernel)
+
+    def accessor_views(self) -> dict[str, object]:
+        """Host array views keyed by buffer name, for host-side kernels."""
+        return {acc.buffer.name: acc.view for acc in self.accessors}

@@ -1,0 +1,46 @@
+"""Simulated vendor power-management libraries.
+
+The paper's runtime binds to NVML on NVIDIA nodes and ROCm SMI on AMD nodes
+(§4). This package reimplements the subset of both C APIs that SYnergy and
+the SLURM plugin use, against :class:`repro.hw.device.SimulatedGPU` boards:
+
+- :mod:`~repro.vendor.nvml` — handle-based API, milliwatt power reads,
+  application clocks, ``SetAPIRestriction`` privilege control,
+- :mod:`~repro.vendor.rocm_smi` — index-based API, performance levels and
+  clock-mask frequency selection,
+- :mod:`~repro.vendor.portable` — the vendor-neutral wrapper SYnergy's
+  queue uses, dispatching on the device vendor.
+"""
+
+from repro.vendor.errors import (
+    NVML_ERROR_INVALID_ARGUMENT,
+    NVML_ERROR_NO_PERMISSION,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_UNINITIALIZED,
+    NVMLError,
+    RSMI_STATUS_INVALID_ARGS,
+    RSMI_STATUS_NOT_SUPPORTED,
+    RSMI_STATUS_PERMISSION,
+    RSMI_STATUS_UNINITIALIZED,
+    RocmSMIError,
+)
+from repro.vendor.nvml import NVMLLibrary
+from repro.vendor.portable import PowerManagementBackend, create_backend
+from repro.vendor.rocm_smi import ROCmSMILibrary
+
+__all__ = [
+    "NVMLError",
+    "NVMLLibrary",
+    "RocmSMIError",
+    "ROCmSMILibrary",
+    "PowerManagementBackend",
+    "create_backend",
+    "NVML_ERROR_UNINITIALIZED",
+    "NVML_ERROR_INVALID_ARGUMENT",
+    "NVML_ERROR_NO_PERMISSION",
+    "NVML_ERROR_NOT_SUPPORTED",
+    "RSMI_STATUS_UNINITIALIZED",
+    "RSMI_STATUS_INVALID_ARGS",
+    "RSMI_STATUS_PERMISSION",
+    "RSMI_STATUS_NOT_SUPPORTED",
+]

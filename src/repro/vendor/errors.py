@@ -1,0 +1,57 @@
+"""Vendor-library error codes and exceptions.
+
+Codes mirror the real libraries' return values so callers (the SYnergy
+runtime, the SLURM plugin) can branch on failure modes exactly as the C
+code would.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+
+# --- NVML return codes (subset) -------------------------------------------
+NVML_SUCCESS = 0
+NVML_ERROR_UNINITIALIZED = 1
+NVML_ERROR_INVALID_ARGUMENT = 2
+NVML_ERROR_NOT_SUPPORTED = 3
+NVML_ERROR_NO_PERMISSION = 4
+
+_NVML_MESSAGES = {
+    NVML_ERROR_UNINITIALIZED: "Uninitialized",
+    NVML_ERROR_INVALID_ARGUMENT: "Invalid Argument",
+    NVML_ERROR_NOT_SUPPORTED: "Not Supported",
+    NVML_ERROR_NO_PERMISSION: "Insufficient Permissions",
+}
+
+
+class NVMLError(ReproError):
+    """Raised by the simulated NVML with a C-style error code attached."""
+
+    def __init__(self, code: int, detail: str = "") -> None:
+        self.code = code
+        message = _NVML_MESSAGES.get(code, f"Unknown Error {code}")
+        super().__init__(f"NVML: {message}" + (f": {detail}" if detail else ""))
+
+
+# --- ROCm SMI return codes (subset) ----------------------------------------
+RSMI_STATUS_SUCCESS = 0
+RSMI_STATUS_UNINITIALIZED = 1
+RSMI_STATUS_INVALID_ARGS = 2
+RSMI_STATUS_NOT_SUPPORTED = 3
+RSMI_STATUS_PERMISSION = 4
+
+_RSMI_MESSAGES = {
+    RSMI_STATUS_UNINITIALIZED: "Uninitialized",
+    RSMI_STATUS_INVALID_ARGS: "Invalid Arguments",
+    RSMI_STATUS_NOT_SUPPORTED: "Not Supported",
+    RSMI_STATUS_PERMISSION: "Permission Denied",
+}
+
+
+class RocmSMIError(ReproError):
+    """Raised by the simulated ROCm SMI with a C-style status attached."""
+
+    def __init__(self, code: int, detail: str = "") -> None:
+        self.code = code
+        message = _RSMI_MESSAGES.get(code, f"Unknown Status {code}")
+        super().__init__(f"ROCm SMI: {message}" + (f": {detail}" if detail else ""))

@@ -1,0 +1,231 @@
+"""Simulated NVIDIA Management Library (NVML).
+
+Implements the NVML call subset SYnergy and the ``nvgpufreq`` SLURM plugin
+depend on, with the real library's semantics:
+
+- explicit ``nvmlInit`` / ``nvmlShutdown`` lifecycle (calls on an
+  uninitialized library fail with ``NVML_ERROR_UNINITIALIZED``),
+- opaque device handles obtained by index,
+- power in **milliwatts** and total energy in **millijoules**, read through
+  the rate-limited :class:`~repro.hw.sensor.PowerSensor`,
+- application-clock control guarded by the per-device API restriction;
+  ``nvmlDeviceSetAPIRestriction`` itself always requires root.
+
+Process privilege is modeled by the library's ``effective_root`` flag: the
+SLURM plugin flips it around its prologue/epilogue work, user code runs with
+it off.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import ClockPermissionError, SimulatedGPU
+from repro.hw.sensor import PowerSensor
+from repro.common.errors import ConfigurationError
+from repro.vendor.errors import (
+    NVML_ERROR_INVALID_ARGUMENT,
+    NVML_ERROR_NO_PERMISSION,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_UNINITIALIZED,
+    NVMLError,
+)
+
+#: ``nvmlClockType_t`` values (subset).
+NVML_CLOCK_GRAPHICS = 0
+NVML_CLOCK_MEM = 2
+
+#: ``nvmlRestrictedAPI_t`` values (subset).
+NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS = 0
+
+#: ``nvmlEnableState_t`` values.
+NVML_FEATURE_DISABLED = 0
+NVML_FEATURE_ENABLED = 1
+
+
+class _DeviceHandle:
+    """Opaque NVML device handle (valid only for the issuing library)."""
+
+    __slots__ = ("index", "_lib_id")
+
+    def __init__(self, index: int, lib_id: int) -> None:
+        self.index = index
+        self._lib_id = lib_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<nvmlDevice_t index={self.index}>"
+
+
+class NVMLLibrary:
+    """One loaded instance of the simulated NVML shared object."""
+
+    def __init__(self, devices: list[SimulatedGPU], *, available: bool = True) -> None:
+        for dev in devices:
+            if dev.spec.vendor != "nvidia":
+                raise ConfigurationError(
+                    f"NVML cannot manage non-NVIDIA device {dev.spec.name!r}"
+                )
+        self._devices = list(devices)
+        self._sensors = [PowerSensor(dev) for dev in devices]
+        self._initialized = False
+        #: Simulates whether the shared object can be dlopen'd on this node.
+        self.available = bool(available)
+        #: Simulated process privilege (flipped by the SLURM plugin).
+        self.effective_root = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def nvmlInit(self) -> None:
+        """Initialize the library (idempotent, as in real NVML)."""
+        if not self.available:
+            raise NVMLError(NVML_ERROR_NOT_SUPPORTED, "libnvidia-ml.so not found")
+        self._initialized = True
+
+    def nvmlShutdown(self) -> None:
+        """Shut the library down; handles become invalid."""
+        self._require_init()
+        self._initialized = False
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise NVMLError(NVML_ERROR_UNINITIALIZED)
+
+    def _resolve(self, handle: _DeviceHandle) -> SimulatedGPU:
+        self._require_init()
+        if (
+            not isinstance(handle, _DeviceHandle)
+            or handle._lib_id != id(self)
+            or not 0 <= handle.index < len(self._devices)
+        ):
+            raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, "bad device handle")
+        return self._devices[handle.index]
+
+    # ---------------------------------------------------------------- queries
+
+    def nvmlDeviceGetCount(self) -> int:
+        """Number of NVIDIA devices visible to this library."""
+        self._require_init()
+        return len(self._devices)
+
+    def nvmlDeviceGetHandleByIndex(self, index: int) -> _DeviceHandle:
+        """Get the opaque handle for device ``index``."""
+        self._require_init()
+        if not 0 <= index < len(self._devices):
+            raise NVMLError(
+                NVML_ERROR_INVALID_ARGUMENT, f"device index {index} out of range"
+            )
+        return _DeviceHandle(index, id(self))
+
+    def nvmlDeviceGetName(self, handle: _DeviceHandle) -> str:
+        """Marketing name of the board."""
+        return self._resolve(handle).spec.name
+
+    def nvmlDeviceGetPowerUsage(self, handle: _DeviceHandle) -> int:
+        """Current board power draw in **milliwatts** (sensor-sampled)."""
+        dev = self._resolve(handle)
+        sensor = self._sensors[handle.index]
+        return int(round(sensor.measure_average_power(dev.clock.now, dev.clock.now) * 1000.0))
+
+    def nvmlDeviceGetTotalEnergyConsumption(self, handle: _DeviceHandle) -> int:
+        """Cumulative board energy since time zero, in **millijoules**."""
+        dev = self._resolve(handle)
+        return int(round(dev.energy_between(0.0, dev.clock.now) * 1000.0))
+
+    def nvmlDeviceGetSupportedMemoryClocks(self, handle: _DeviceHandle) -> list[int]:
+        """Supported memory clocks (MHz), descending as real NVML reports."""
+        dev = self._resolve(handle)
+        return sorted(dev.spec.mem_freqs_mhz, reverse=True)
+
+    def nvmlDeviceGetSupportedGraphicsClocks(
+        self, handle: _DeviceHandle, mem_mhz: int
+    ) -> list[int]:
+        """Supported graphics clocks for a memory clock (MHz), descending."""
+        dev = self._resolve(handle)
+        if mem_mhz not in dev.spec.mem_freqs_mhz:
+            raise NVMLError(
+                NVML_ERROR_INVALID_ARGUMENT, f"memory clock {mem_mhz} MHz unsupported"
+            )
+        return sorted(dev.spec.core_freqs_mhz, reverse=True)
+
+    def nvmlDeviceGetApplicationsClock(
+        self, handle: _DeviceHandle, clock_type: int
+    ) -> int:
+        """Current application clock (MHz) for graphics or memory domain."""
+        dev = self._resolve(handle)
+        if clock_type == NVML_CLOCK_GRAPHICS:
+            return dev.core_mhz
+        if clock_type == NVML_CLOCK_MEM:
+            return dev.mem_mhz
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, f"clock type {clock_type}")
+
+    def nvmlDeviceGetAPIRestriction(self, handle: _DeviceHandle, api: int) -> int:
+        """Whether an API class is root-restricted on this device."""
+        dev = self._resolve(handle)
+        if api != NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS:
+            raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, f"api {api}")
+        return NVML_FEATURE_ENABLED if dev.api_restricted else NVML_FEATURE_DISABLED
+
+    def nvmlDeviceGetPowerManagementLimit(self, handle: _DeviceHandle) -> int:
+        """Current board power limit in **milliwatts**."""
+        dev = self._resolve(handle)
+        return int(round(dev.power_limit_w * 1000.0))
+
+    def nvmlDeviceGetPowerManagementDefaultLimit(
+        self, handle: _DeviceHandle
+    ) -> int:
+        """Factory default board power limit in **milliwatts**."""
+        dev = self._resolve(handle)
+        return int(round(dev.default_power_limit_w * 1000.0))
+
+    # ---------------------------------------------------------------- control
+
+    def nvmlDeviceSetPowerManagementLimit(
+        self, handle: _DeviceHandle, limit_mw: int
+    ) -> None:
+        """Set the board power limit (root only, as in real NVML)."""
+        dev = self._resolve(handle)
+        try:
+            dev.set_power_limit(limit_mw / 1000.0, privileged=self.effective_root)
+        except ClockPermissionError as exc:
+            raise NVMLError(NVML_ERROR_NO_PERMISSION, str(exc)) from exc
+        except ConfigurationError as exc:
+            raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, str(exc)) from exc
+
+    def nvmlDeviceSetApplicationsClocks(
+        self, handle: _DeviceHandle, mem_mhz: int, core_mhz: int
+    ) -> None:
+        """Set application clocks; obeys the device's API restriction."""
+        dev = self._resolve(handle)
+        try:
+            dev.set_application_clocks(
+                mem_mhz, core_mhz, privileged=self.effective_root
+            )
+        except ClockPermissionError as exc:
+            raise NVMLError(NVML_ERROR_NO_PERMISSION, str(exc)) from exc
+        except ConfigurationError as exc:
+            raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, str(exc)) from exc
+
+    def nvmlDeviceResetApplicationsClocks(self, handle: _DeviceHandle) -> None:
+        """Restore default application clocks; obeys the API restriction."""
+        dev = self._resolve(handle)
+        try:
+            dev.reset_application_clocks(privileged=self.effective_root)
+        except ClockPermissionError as exc:
+            raise NVMLError(NVML_ERROR_NO_PERMISSION, str(exc)) from exc
+
+    def nvmlDeviceSetAPIRestriction(
+        self, handle: _DeviceHandle, api: int, state: int
+    ) -> None:
+        """Lower/raise the privilege requirement for an API class (root only).
+
+        This is the call the paper's SLURM plugin leverages (§7.1) to grant
+        unprivileged jobs temporary access to application clocks.
+        """
+        dev = self._resolve(handle)
+        if api != NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS:
+            raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, f"api {api}")
+        if state not in (NVML_FEATURE_ENABLED, NVML_FEATURE_DISABLED):
+            raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, f"state {state}")
+        if not self.effective_root:
+            raise NVMLError(
+                NVML_ERROR_NO_PERMISSION, "SetAPIRestriction requires root"
+            )
+        dev.set_api_restriction(state == NVML_FEATURE_ENABLED)

@@ -1,0 +1,178 @@
+"""Portable power-management backend.
+
+The SYnergy API promises vendor portability (§4): the same ``synergy::queue``
+works on NVIDIA and AMD boards because the runtime dispatches to NVML or
+ROCm SMI underneath. :func:`create_backend` performs that dispatch for a
+simulated device; :class:`PowerManagementBackend` is the neutral interface
+the queue talks to.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+from repro.vendor.nvml import (
+    NVML_CLOCK_GRAPHICS,
+    NVML_CLOCK_MEM,
+    NVMLLibrary,
+)
+from repro.vendor.rocm_smi import (
+    RSMI_CLK_TYPE_SYS,
+    RSMI_DEV_PERF_LEVEL_MANUAL,
+    ROCmSMILibrary,
+)
+
+
+class PowerManagementBackend(abc.ABC):
+    """Vendor-neutral clock/power interface for one device."""
+
+    @abc.abstractmethod
+    def supported_core_freqs(self) -> tuple[int, ...]:
+        """Supported core clocks (MHz, ascending)."""
+
+    @abc.abstractmethod
+    def supported_mem_freqs(self) -> tuple[int, ...]:
+        """Supported memory clocks (MHz, ascending)."""
+
+    @abc.abstractmethod
+    def current_clocks(self) -> tuple[int, int]:
+        """Current ``(core_mhz, mem_mhz)``."""
+
+    @abc.abstractmethod
+    def set_clocks(self, mem_mhz: int, core_mhz: int) -> None:
+        """Apply an application-clock pair (may raise a vendor error)."""
+
+    @abc.abstractmethod
+    def reset_clocks(self) -> None:
+        """Restore driver-default clocks."""
+
+    @abc.abstractmethod
+    def read_power_w(self) -> float:
+        """Current sensor-reported board power (W)."""
+
+    @abc.abstractmethod
+    def read_energy_j(self) -> float:
+        """Cumulative sensor-reported board energy since time zero (J)."""
+
+
+class NvmlBackend(PowerManagementBackend):
+    """NVML binding for one NVIDIA device."""
+
+    def __init__(self, device: SimulatedGPU, lib: NVMLLibrary | None = None) -> None:
+        self._lib = lib if lib is not None else NVMLLibrary([device])
+        self._lib.nvmlInit()
+        # Find the handle for this particular device within the library.
+        self._handle = None
+        for i in range(self._lib.nvmlDeviceGetCount()):
+            handle = self._lib.nvmlDeviceGetHandleByIndex(i)
+            if self._lib._devices[i] is device:  # noqa: SLF001 - sim-internal
+                self._handle = handle
+                break
+        if self._handle is None:
+            raise ConfigurationError("device is not managed by the given NVML library")
+        self._device = device
+
+    def supported_core_freqs(self) -> tuple[int, ...]:
+        mem = self._lib.nvmlDeviceGetSupportedMemoryClocks(self._handle)[0]
+        clocks = self._lib.nvmlDeviceGetSupportedGraphicsClocks(self._handle, mem)
+        return tuple(sorted(clocks))
+
+    def supported_mem_freqs(self) -> tuple[int, ...]:
+        return tuple(sorted(self._lib.nvmlDeviceGetSupportedMemoryClocks(self._handle)))
+
+    def current_clocks(self) -> tuple[int, int]:
+        return (
+            self._lib.nvmlDeviceGetApplicationsClock(self._handle, NVML_CLOCK_GRAPHICS),
+            self._lib.nvmlDeviceGetApplicationsClock(self._handle, NVML_CLOCK_MEM),
+        )
+
+    def set_clocks(self, mem_mhz: int, core_mhz: int) -> None:
+        self._lib.nvmlDeviceSetApplicationsClocks(self._handle, mem_mhz, core_mhz)
+
+    def reset_clocks(self) -> None:
+        self._lib.nvmlDeviceResetApplicationsClocks(self._handle)
+
+    def read_power_w(self) -> float:
+        return self._lib.nvmlDeviceGetPowerUsage(self._handle) / 1000.0
+
+    def read_energy_j(self) -> float:
+        return self._lib.nvmlDeviceGetTotalEnergyConsumption(self._handle) / 1000.0
+
+
+class RocmSmiBackend(PowerManagementBackend):
+    """ROCm SMI binding for one AMD device."""
+
+    def __init__(
+        self, device: SimulatedGPU, lib: ROCmSMILibrary | None = None
+    ) -> None:
+        self._lib = lib if lib is not None else ROCmSMILibrary([device])
+        self._lib.rsmi_init()
+        self._index = None
+        for i in range(self._lib.rsmi_num_monitor_devices()):
+            if self._lib._devices[i] is device:  # noqa: SLF001 - sim-internal
+                self._index = i
+                break
+        if self._index is None:
+            raise ConfigurationError(
+                "device is not managed by the given ROCm SMI library"
+            )
+        self._device = device
+
+    def supported_core_freqs(self) -> tuple[int, ...]:
+        info = self._lib.rsmi_dev_gpu_clk_freq_get(self._index, RSMI_CLK_TYPE_SYS)
+        return tuple(int(f / 1e6) for f in info["frequency"])
+
+    def supported_mem_freqs(self) -> tuple[int, ...]:
+        return tuple(self._device.spec.mem_freqs_mhz)
+
+    def current_clocks(self) -> tuple[int, int]:
+        return (self._device.core_mhz, self._device.mem_mhz)
+
+    def set_clocks(self, mem_mhz: int, core_mhz: int) -> None:
+        """Select a core clock by masking all levels above it.
+
+        AMD memory clocks on HBM boards are fixed; a request for a different
+        memory clock is rejected by the underlying mask validation.
+        """
+        table = self._device.spec.core_freqs_mhz
+        if core_mhz not in table:
+            # Mirror NVML's invalid-argument behaviour through the SMI path.
+            from repro.vendor.errors import RSMI_STATUS_INVALID_ARGS, RocmSMIError
+
+            raise RocmSMIError(
+                RSMI_STATUS_INVALID_ARGS, f"unsupported core clock {core_mhz} MHz"
+            )
+        self._lib.rsmi_dev_perf_level_set(self._index, RSMI_DEV_PERF_LEVEL_MANUAL)
+        mask = 0
+        for i, f in enumerate(table):
+            if f <= core_mhz:
+                mask |= 1 << i
+        self._lib.rsmi_dev_gpu_clk_freq_set(self._index, RSMI_CLK_TYPE_SYS, mask)
+
+    def reset_clocks(self) -> None:
+        from repro.vendor.rocm_smi import RSMI_DEV_PERF_LEVEL_AUTO
+
+        self._lib.rsmi_dev_perf_level_set(self._index, RSMI_DEV_PERF_LEVEL_AUTO)
+
+    def read_power_w(self) -> float:
+        return self._lib.rsmi_dev_power_ave_get(self._index) / 1_000_000.0
+
+    def read_energy_j(self) -> float:
+        # ROCm SMI has no cumulative energy counter; integrate the true
+        # timeline as the paper's sampling thread effectively does.
+        return self._device.energy_between(0.0, self._device.clock.now)
+
+
+def create_backend(
+    device: SimulatedGPU,
+    nvml: NVMLLibrary | None = None,
+    rocm: ROCmSMILibrary | None = None,
+) -> PowerManagementBackend:
+    """Instantiate the right vendor backend for a device."""
+    if device.spec.vendor == "nvidia":
+        return NvmlBackend(device, lib=nvml)
+    if device.spec.vendor == "amd":
+        return RocmSmiBackend(device, lib=rocm)
+    raise ConfigurationError(f"no power-management backend for vendor {device.spec.vendor!r}")

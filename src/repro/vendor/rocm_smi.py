@@ -1,0 +1,170 @@
+"""Simulated AMD ROCm System Management Interface.
+
+Implements the ROCm-SMI call subset SYnergy's AMD binding uses. Unlike NVML,
+ROCm SMI addresses devices by integer index (no handles), reports power in
+**microwatts**, and selects clocks through discrete *performance levels* via
+a frequency bitmask (``rsmi_dev_gpu_clk_freq_set``). The MI100 exposes 16
+such levels (Fig. 1). With the device in ``AUTO`` performance mode the
+driver picks the top level under load — the paper's observation that the
+MI100 default is always the fastest configuration (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.hw.device import ClockPermissionError, SimulatedGPU
+from repro.hw.sensor import PowerSensor
+from repro.vendor.errors import (
+    RSMI_STATUS_INVALID_ARGS,
+    RSMI_STATUS_NOT_SUPPORTED,
+    RSMI_STATUS_PERMISSION,
+    RSMI_STATUS_UNINITIALIZED,
+    RocmSMIError,
+)
+
+#: ``rsmi_clk_type_t`` values (subset).
+RSMI_CLK_TYPE_SYS = 0  # shader/system clock
+RSMI_CLK_TYPE_MEM = 4
+
+#: ``rsmi_dev_perf_level_t`` values (subset).
+RSMI_DEV_PERF_LEVEL_AUTO = 0
+RSMI_DEV_PERF_LEVEL_MANUAL = 4
+
+
+class ROCmSMILibrary:
+    """One loaded instance of the simulated ``librocm_smi64`` library."""
+
+    def __init__(self, devices: list[SimulatedGPU], *, available: bool = True) -> None:
+        for dev in devices:
+            if dev.spec.vendor != "amd":
+                raise ConfigurationError(
+                    f"ROCm SMI cannot manage non-AMD device {dev.spec.name!r}"
+                )
+        self._devices = list(devices)
+        self._sensors = [PowerSensor(dev) for dev in devices]
+        self._initialized = False
+        self.available = bool(available)
+        self.effective_root = False
+        self._perf_level = [RSMI_DEV_PERF_LEVEL_AUTO] * len(devices)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def rsmi_init(self, flags: int = 0) -> None:
+        """Initialize the library."""
+        if not self.available:
+            raise RocmSMIError(RSMI_STATUS_NOT_SUPPORTED, "librocm_smi64 not found")
+        self._initialized = True
+
+    def rsmi_shut_down(self) -> None:
+        """Shut the library down."""
+        self._require_init()
+        self._initialized = False
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise RocmSMIError(RSMI_STATUS_UNINITIALIZED)
+
+    def _resolve(self, index: int) -> SimulatedGPU:
+        self._require_init()
+        if not 0 <= index < len(self._devices):
+            raise RocmSMIError(
+                RSMI_STATUS_INVALID_ARGS, f"device index {index} out of range"
+            )
+        return self._devices[index]
+
+    # ---------------------------------------------------------------- queries
+
+    def rsmi_num_monitor_devices(self) -> int:
+        """Number of AMD devices visible to this library."""
+        self._require_init()
+        return len(self._devices)
+
+    def rsmi_dev_name_get(self, index: int) -> str:
+        """Marketing name of the board."""
+        return self._resolve(index).spec.name
+
+    def rsmi_dev_power_ave_get(self, index: int, sensor_ind: int = 0) -> int:
+        """Average board power in **microwatts** (sensor-sampled)."""
+        dev = self._resolve(index)
+        sensor = self._sensors[index]
+        watts = sensor.measure_average_power(dev.clock.now, dev.clock.now)
+        return int(round(watts * 1_000_000.0))
+
+    def rsmi_dev_gpu_clk_freq_get(self, index: int, clk_type: int) -> dict:
+        """Frequency table and current level for a clock domain.
+
+        Returns ``{"num_supported", "current", "frequency"}`` like the C
+        struct ``rsmi_frequencies_t`` (frequencies in Hz, ascending).
+        """
+        dev = self._resolve(index)
+        if clk_type == RSMI_CLK_TYPE_SYS:
+            table = dev.spec.core_freqs_mhz
+            current_mhz = dev.core_mhz
+        elif clk_type == RSMI_CLK_TYPE_MEM:
+            table = dev.spec.mem_freqs_mhz
+            current_mhz = dev.mem_mhz
+        else:
+            raise RocmSMIError(RSMI_STATUS_INVALID_ARGS, f"clk_type {clk_type}")
+        return {
+            "num_supported": len(table),
+            "current": table.index(current_mhz),
+            "frequency": [int(f * 1e6) for f in table],
+        }
+
+    def rsmi_dev_perf_level_get(self, index: int) -> int:
+        """Current performance-level policy (AUTO or MANUAL)."""
+        self._resolve(index)
+        return self._perf_level[index]
+
+    # ---------------------------------------------------------------- control
+
+    def rsmi_dev_perf_level_set(self, index: int, level: int) -> None:
+        """Switch between AUTO and MANUAL performance control (root path)."""
+        dev = self._resolve(index)
+        if level not in (RSMI_DEV_PERF_LEVEL_AUTO, RSMI_DEV_PERF_LEVEL_MANUAL):
+            raise RocmSMIError(RSMI_STATUS_INVALID_ARGS, f"perf level {level}")
+        if dev.api_restricted and not self.effective_root:
+            raise RocmSMIError(
+                RSMI_STATUS_PERMISSION, "perf level control requires root"
+            )
+        self._perf_level[index] = level
+        if level == RSMI_DEV_PERF_LEVEL_AUTO:
+            dev.reset_application_clocks(privileged=True)
+
+    def rsmi_dev_gpu_clk_freq_set(
+        self, index: int, clk_type: int, freq_bitmask: int
+    ) -> None:
+        """Restrict the clock domain to the levels set in ``freq_bitmask``.
+
+        The device then runs at the *highest* allowed level, matching the
+        driver's behaviour under load. Requires MANUAL performance level.
+        """
+        dev = self._resolve(index)
+        if self._perf_level[index] != RSMI_DEV_PERF_LEVEL_MANUAL:
+            raise RocmSMIError(
+                RSMI_STATUS_NOT_SUPPORTED,
+                "clock masks require MANUAL performance level",
+            )
+        if clk_type == RSMI_CLK_TYPE_SYS:
+            table = dev.spec.core_freqs_mhz
+        elif clk_type == RSMI_CLK_TYPE_MEM:
+            table = dev.spec.mem_freqs_mhz
+        else:
+            raise RocmSMIError(RSMI_STATUS_INVALID_ARGS, f"clk_type {clk_type}")
+        allowed = [
+            table[i] for i in range(len(table)) if freq_bitmask & (1 << i)
+        ]
+        if not allowed:
+            raise RocmSMIError(RSMI_STATUS_INVALID_ARGS, "empty frequency mask")
+        target = max(allowed)
+        try:
+            if clk_type == RSMI_CLK_TYPE_SYS:
+                dev.set_application_clocks(
+                    dev.mem_mhz, target, privileged=self.effective_root
+                )
+            else:
+                dev.set_application_clocks(
+                    target, dev.core_mhz, privileged=self.effective_root
+                )
+        except ClockPermissionError as exc:
+            raise RocmSMIError(RSMI_STATUS_PERMISSION, str(exc)) from exc

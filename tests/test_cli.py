@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_devices(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "NVIDIA V100" in out and "AMD MI100" in out
+    assert "196" in out and "16" in out
+
+
+def test_characterize_subset(capsys):
+    assert main(["characterize", "--device", "mi100",
+                 "--benchmarks", "gemm", "median"]) == 0
+    out = capsys.readouterr().out
+    assert "AMD MI100" in out
+    assert "gemm" in out and "median" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--benchmark", "black_scholes",
+                 "--targets", "MIN_EDP", "ES_25"]) == 0
+    out = capsys.readouterr().out
+    assert "MIN_EDP" in out and "ES_25" in out
+
+
+def test_sweep_bad_target():
+    from repro.common.errors import ValidationError
+
+    with pytest.raises(ValidationError):
+        main(["sweep", "--benchmark", "gemm", "--targets", "FASTEST"])
+
+
+def test_train_compile_roundtrip(tmp_path, capsys):
+    bundle_path = tmp_path / "bundle.json"
+    assert main(["train", "--out", str(bundle_path), "--stride", "24",
+                 "--random-count", "2", "--algorithm", "Linear"]) == 0
+    assert bundle_path.exists()
+    capsys.readouterr()
+    assert main(["compile", "--bundle", str(bundle_path),
+                 "--benchmarks", "gemm", "sobel3",
+                 "--targets", "MIN_EDP", "ES_50"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm" in out and "sobel3" in out
+    assert "ES_50" in out
+
+
+def test_fine_vs_coarse(capsys):
+    assert main(["fine-vs-coarse", "--benchmarks", "sobel3", "median",
+                 "--target", "MIN_ENERGY"]) == 0
+    out = capsys.readouterr().out
+    assert "fine-grained advantage" in out
+
+
+def test_scaling_with_pretrained_bundle(tmp_path, capsys):
+    bundle_path = tmp_path / "bundle.json"
+    main(["train", "--out", str(bundle_path), "--stride", "16",
+          "--random-count", "4", "--algorithm", "best"])
+    capsys.readouterr()
+    assert main(["scaling", "--app", "cloverleaf", "--gpus", "4",
+                 "--targets", "PL_50", "--steps", "2",
+                 "--bundle", str(bundle_path)]) == 0
+    out = capsys.readouterr().out
+    assert "weak scaling" in out and "PL_50" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_accuracy_small(capsys):
+    assert main(["accuracy", "--algorithms", "Linear",
+                 "--stride", "24", "--random-count", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "MAX_PERF" in out

@@ -1,0 +1,62 @@
+"""Virtual clock invariants."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import SimulationError
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        VirtualClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock()
+    assert clock.advance(2.5) == 2.5
+    assert clock.now == 2.5
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.0)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(1.5)
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(SimulationError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_is_noop():
+    clock = VirtualClock(3.0)
+    clock.advance(0.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_future():
+    clock = VirtualClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_now_is_idempotent():
+    clock = VirtualClock(4.0)
+    clock.advance_to(4.0)
+    assert clock.now == 4.0
+
+
+def test_advance_to_past_rejected():
+    clock = VirtualClock(4.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(3.9)

@@ -1,0 +1,31 @@
+"""Deterministic RNG helpers."""
+
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42).random(8)
+    b = make_rng(42).random(8)
+    assert (a == b).all()
+
+
+def test_different_seeds_differ():
+    assert (make_rng(1).random(8) != make_rng(2).random(8)).any()
+
+
+def test_none_seed_is_default_seed():
+    assert (make_rng(None).random(4) == make_rng(DEFAULT_SEED).random(4)).all()
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed("V100", 0, "sensor") == derive_seed("V100", 0, "sensor")
+
+
+def test_derive_seed_sensitive_to_parts():
+    assert derive_seed("V100", 0) != derive_seed("V100", 1)
+    assert derive_seed("a", "b") != derive_seed("ab")
+
+
+def test_derive_seed_in_63_bit_range():
+    seed = derive_seed("anything", 123, 4.5)
+    assert 0 <= seed < 2**63

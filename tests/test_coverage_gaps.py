@@ -1,0 +1,162 @@
+"""Cross-cutting behaviours not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.hw.specs import AMD_MI100, NVIDIA_V100
+from repro.kernelir.features import FEATURE_NAMES, extract_features
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ConfigurationError, SimulationError, ValidationError):
+            assert issubclass(exc, ReproError)
+        from repro.hw.device import ClockPermissionError
+        from repro.vendor.errors import NVMLError, RocmSMIError
+
+        assert issubclass(ClockPermissionError, ReproError)
+        assert issubclass(NVMLError, ReproError)
+        assert issubclass(RocmSMIError, ReproError)
+
+    def test_vendor_error_messages(self):
+        from repro.vendor.errors import NVML_ERROR_NO_PERMISSION, NVMLError
+
+        err = NVMLError(NVML_ERROR_NO_PERMISSION, "clock change")
+        assert "Insufficient Permissions" in str(err)
+        assert err.code == NVML_ERROR_NO_PERMISSION
+
+
+class TestEffectiveGlobalAccessFeature:
+    """The feature pass discounts cached accesses (DESIGN.md deviation 1)."""
+
+    def test_locality_discounts_gl_access(self):
+        mix = InstructionMix(float_add=4, gl_access=10)
+        raw = KernelIR("raw", mix, work_items=64, locality=0.0)
+        cached = KernelIR("cached", mix, work_items=64, locality=0.8)
+        gl = FEATURE_NAMES.index("gl_access")
+        assert extract_features(raw)[gl] == pytest.approx(10.0)
+        assert extract_features(cached)[gl] == pytest.approx(2.0)
+
+    def test_other_features_unaffected(self):
+        mix = InstructionMix(float_add=4, sf=3, gl_access=10, loc_access=5)
+        cached = KernelIR("cached", mix, work_items=64, locality=0.5)
+        vec = extract_features(cached)
+        assert vec[FEATURE_NAMES.index("float_add")] == 4.0
+        assert vec[FEATURE_NAMES.index("sf")] == 3.0
+        assert vec[FEATURE_NAMES.index("loc_access")] == 5.0
+
+
+class TestMiniAppReports:
+    def test_report_fields_consistent(self):
+        from repro.apps import CloverLeaf
+        from repro.common.clock import VirtualClock
+        from repro.hw.device import SimulatedGPU
+        from repro.mpi.comm import SimulatedComm
+
+        gpus = [SimulatedGPU(NVIDIA_V100, clock=VirtualClock()) for _ in range(2)]
+        comm = SimulatedComm(gpus, [0, 0])
+        app = CloverLeaf(steps=3, nx=512, ny=512)
+        report = app.run(comm)
+        assert report.steps == 3
+        assert report.n_ranks == 2
+        assert report.kernel_launches == 3 * len(app.timestep_kernels()) * 2
+        assert report.elapsed_s >= report.comm_time_max_s
+
+    def test_same_seedless_run_is_deterministic(self):
+        from repro.apps import MiniWeather
+        from repro.common.clock import VirtualClock
+        from repro.hw.device import SimulatedGPU
+        from repro.mpi.comm import SimulatedComm
+
+        def run():
+            gpus = [SimulatedGPU(NVIDIA_V100, clock=VirtualClock())]
+            comm = SimulatedComm(gpus, [0])
+            return MiniWeather(steps=2, nx=512, nz=256).run(comm)
+
+        a, b = run(), run()
+        assert a.elapsed_s == b.elapsed_s
+        assert a.gpu_energy_j == b.gpu_energy_j
+
+
+class TestDeviceSelectorEdgeCases:
+    def test_selector_repr(self):
+        from repro.sycl.device import gpu_selector_v
+
+        assert repr(gpu_selector_v) == "gpu_selector_v"
+
+    def test_select_rejects_garbage(self):
+        from repro.sycl.device import select_device
+
+        with pytest.raises(ConfigurationError):
+            select_device("gpu")
+
+    def test_sycl_device_properties(self, mi100):
+        from repro.sycl.device import SyclDevice
+
+        dev = SyclDevice(mi100)
+        assert dev.name == "AMD MI100"
+        assert dev.vendor == "amd"
+
+
+class TestTrainingOnAmd:
+    """The full modeling flow also works on the 16-level MI100 table."""
+
+    def test_mi100_training_and_prediction(self):
+        from repro.core.models import EnergyModelBundle
+        from repro.core.predictor import FrequencyPredictor
+        from repro.experiments.training import microbench_training_set
+        from repro.metrics.targets import MIN_ENERGY
+
+        training = microbench_training_set(AMD_MI100, freq_stride=1, random_count=4)
+        assert training.n_samples == (26 + 9 + 4) * 16
+        bundle = EnergyModelBundle().fit(training)
+        predictor = FrequencyPredictor(bundle, AMD_MI100)
+        kernel = KernelIR(
+            "amd_mem", InstructionMix(float_add=2, gl_access=6),
+            work_items=1 << 24,
+        )
+        mem, core = predictor.predict_frequency(kernel, MIN_ENERGY)
+        assert mem == AMD_MI100.default_mem_mhz
+        assert core in AMD_MI100.core_freqs_mhz
+        assert core < AMD_MI100.default_core_mhz  # memory-bound: clock down
+
+
+class TestReportFormatting:
+    def test_custom_float_format(self):
+        from repro.experiments.report import format_table
+
+        out = format_table(["x"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in out
+
+    def test_bool_and_int_cells(self):
+        from repro.experiments.report import format_table
+
+        out = format_table(["a", "b"], [[True, 7]])
+        assert "True" in out and "7" in out
+
+
+class TestEventEdgeCases:
+    def test_bad_timestamps_rejected(self, v100):
+        from repro.sycl.event import Event
+
+        with pytest.raises(SimulationError):
+            Event(device=v100, submit_s=1.0, start_s=0.5, end_s=2.0)
+
+    def test_status_transitions(self, v100, compute_kernel):
+        from repro.sycl.event import Event, EventStatus
+
+        now = v100.clock.now
+        event = Event(device=v100, submit_s=now, start_s=now + 1.0, end_s=now + 2.0)
+        assert event.status is EventStatus.SUBMITTED
+        v100.clock.advance(1.5)
+        assert event.status is EventStatus.RUNNING
+        event.wait()
+        assert event.status is EventStatus.COMPLETE

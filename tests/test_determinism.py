@@ -1,0 +1,82 @@
+"""Repository-wide determinism guarantees (fast checks)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark
+from repro.core.models import EnergyModelBundle, build_training_set
+from repro.experiments.sweep import sweep_kernel
+from repro.hw.device import SimulatedGPU
+from repro.hw.sensor import PowerSensor
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.microbench import generate_microbenchmarks
+
+
+def test_sweeps_are_bit_reproducible():
+    kernel = get_benchmark("black_scholes").kernel
+    a = sweep_kernel(NVIDIA_V100, kernel)
+    b = sweep_kernel(NVIDIA_V100, kernel)
+    assert np.array_equal(a.time_s, b.time_s)
+    assert np.array_equal(a.energy_j, b.energy_j)
+
+
+def test_device_execution_reproducible(compute_kernel):
+    def run():
+        gpu = SimulatedGPU(NVIDIA_V100)
+        record = gpu.execute(compute_kernel)
+        return record.time_s, record.energy_j
+
+    assert run() == run()
+
+
+def test_sensor_noise_is_seeded(compute_kernel):
+    def measure():
+        gpu = SimulatedGPU(NVIDIA_V100, index=7)
+        gpu.execute(compute_kernel.with_work_items(1 << 26))
+        sensor = PowerSensor(gpu)
+        return sensor.measure_energy(0.0, gpu.clock.now)
+
+    assert measure() == measure()
+
+
+def test_sensor_noise_differs_across_board_indices(compute_kernel):
+    def measure(index):
+        gpu = SimulatedGPU(NVIDIA_V100, index=index)
+        gpu.execute(compute_kernel.with_work_items(1 << 26))
+        sensor = PowerSensor(gpu)
+        return sensor.measure_energy(0.0, gpu.clock.now)
+
+    assert measure(1) != measure(2)
+
+
+def test_trained_models_reproducible():
+    kernels = generate_microbenchmarks(random_count=3)
+    freqs = NVIDIA_V100.core_freqs_mhz[::48]
+
+    def train_and_predict():
+        ts = build_training_set(NVIDIA_V100, kernels, core_freqs_mhz=freqs)
+        bundle = EnergyModelBundle(seed=4).fit(ts)
+        kernel = get_benchmark("gemm").kernel
+        curves = bundle.predict_curves(kernel, NVIDIA_V100.core_freqs_mhz[::24])
+        return {name: arr.tolist() for name, arr in curves.items()}
+
+    assert train_and_predict() == train_and_predict()
+
+
+def test_plan_compilation_reproducible(trained_bundle):
+    from repro.core.compiler import SynergyCompiler
+    from repro.metrics.targets import ES_50, MIN_EDP
+
+    kernels = [get_benchmark(n).kernel for n in ("gemm", "median")]
+    compile_once = lambda: SynergyCompiler(  # noqa: E731
+        trained_bundle, NVIDIA_V100
+    ).compile(kernels, [MIN_EDP, ES_50]).plan.entries
+    assert compile_once() == compile_once()
+
+
+def test_microbench_generation_stable_across_calls():
+    a = generate_microbenchmarks(seed=9, random_count=5)
+    b = generate_microbenchmarks(seed=9, random_count=5)
+    assert [(k.name, k.mix, k.locality) for k in a] == [
+        (k.name, k.mix, k.locality) for k in b
+    ]

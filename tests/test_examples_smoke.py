@@ -1,0 +1,37 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Only the quick examples run here (the cluster and custom-target walkthroughs
+train full model bundles and belong to the benchmark tier); all examples
+are exercised by the repository's final verification run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ["quickstart", "energy_characterization"])
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_quickstart_output_mentions_listings(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    for listing in ("listing 1", "listing 2", "listing 3", "listing 4"):
+        assert listing in out

@@ -1,0 +1,77 @@
+"""JSON export of experiment results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark
+from repro.experiments.characterization import characterize
+from repro.experiments.export import (
+    characterization_to_dict,
+    scaling_to_dict,
+    sweep_to_dict,
+    write_json,
+)
+from repro.experiments.scaling import ScalingPoint, ScalingResult
+from repro.experiments.sweep import sweep_kernel
+from repro.hw.specs import NVIDIA_V100
+
+
+def test_sweep_export_roundtrips_json(tmp_path):
+    sweep = sweep_kernel(NVIDIA_V100, get_benchmark("median").kernel)
+    payload = sweep_to_dict(sweep)
+    path = write_json(payload, tmp_path / "sweep.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["kind"] == "frequency_sweep"
+    assert loaded["kernel"] == "median"
+    assert len(loaded["freqs_mhz"]) == 196
+    assert np.allclose(loaded["energy_j"], sweep.energy_j)
+
+
+def test_characterization_export(tmp_path):
+    result = characterize(NVIDIA_V100, get_benchmark("gemm").kernel)
+    payload = characterization_to_dict(result)
+    assert payload["summary"]["max_energy_saving"] == result.max_energy_saving
+    assert payload["sweep"]["device"] == "NVIDIA V100"
+    # Must be JSON-serializable end to end.
+    json.dumps(payload)
+
+
+def test_scaling_export():
+    result = ScalingResult(app_name="cloverleaf", device_name="NVIDIA V100")
+    result.points.append(
+        ScalingPoint("cloverleaf", 4, "default", 1.0, 100.0, 0.01)
+    )
+    result.points.append(ScalingPoint("cloverleaf", 4, "ES_50", 1.1, 80.0, 0.01))
+    payload = scaling_to_dict(result)
+    assert payload["app"] == "cloverleaf"
+    assert len(payload["points"]) == 2
+    json.dumps(payload)
+
+
+def test_cli_characterize_json(tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "char.json"
+    assert main(["characterize", "--benchmarks", "median",
+                 "--json", str(out_path)]) == 0
+    data = json.loads(out_path.read_text())
+    assert data["kind"] == "characterization_set"
+    assert "median" in data["benchmarks"]
+
+
+def test_accuracy_export_handles_nan(trained_bundle):
+    from repro.apps import iter_benchmarks
+    from repro.experiments.accuracy import run_accuracy_analysis
+    from repro.experiments.export import accuracy_to_dict
+
+    analysis = run_accuracy_analysis(
+        NVIDIA_V100,
+        bundles={"RandomForest": trained_bundle},
+        benchmarks=list(iter_benchmarks())[:2],
+    )
+    payload = accuracy_to_dict(analysis)
+    text = json.dumps(payload)  # NaNs must have been converted to null
+    assert "NaN" not in text
+    assert payload["records"]

@@ -1,0 +1,97 @@
+"""Numeric validation of the host-side reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hostimpl import black_scholes_app, median_app, sobel3_app
+from repro.common.errors import ValidationError
+from repro.core.queue import SynergyQueue
+from repro.sycl import Accessor, read_only, write_only
+
+
+def _run(v100, kernel, buffers, reads, writes):
+    queue = SynergyQueue(v100)
+
+    def cg(h):
+        for name in reads:
+            Accessor(buffers[name], h, read_only)
+        for name in writes:
+            Accessor(buffers[name], h, write_only)
+        h.parallel_for(kernel.work_items, kernel)
+
+    event = queue.submit(cg)
+    event.wait()
+    return queue, event
+
+
+class TestBlackScholes:
+    def test_put_call_parity(self, v100):
+        kernel, buffers = black_scholes_app(n_options=512, seed=1)
+        _run(v100, kernel, buffers, ("spot", "strike", "tte"), ("call", "put"))
+        s = buffers["spot"].data
+        k = buffers["strike"].data
+        t = buffers["tte"].data
+        call, put = buffers["call"].data, buffers["put"].data
+        # C - P = S - K e^{-rT} (put-call parity).
+        assert np.allclose(call - put, s - k * np.exp(-0.02 * t), atol=1e-10)
+
+    def test_prices_nonnegative_and_bounded(self, v100):
+        kernel, buffers = black_scholes_app(n_options=256, seed=2)
+        _run(v100, kernel, buffers, ("spot", "strike", "tte"), ("call", "put"))
+        call = buffers["call"].data
+        assert np.all(call >= -1e-12)
+        assert np.all(call <= buffers["spot"].data + 1e-12)
+
+    def test_energy_accounted(self, v100):
+        kernel, buffers = black_scholes_app(n_options=128)
+        queue, event = _run(
+            v100, kernel, buffers, ("spot", "strike", "tte"), ("call", "put")
+        )
+        assert queue.kernel_energy_consumption(event, true_value=True) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            black_scholes_app(n_options=0)
+
+
+class TestSobel:
+    def test_flat_image_has_no_edges(self, v100):
+        kernel, buffers = sobel3_app(height=32, width=32)
+        buffers["image"].data[:] = 0.5
+        _run(v100, kernel, buffers, ("image",), ("edges",))
+        assert np.allclose(buffers["edges"].data, 0.0)
+
+    def test_vertical_step_detected(self, v100):
+        kernel, buffers = sobel3_app(height=16, width=16)
+        img = buffers["image"].data
+        img[:] = 0.0
+        img[:, 8:] = 1.0
+        _run(v100, kernel, buffers, ("image",), ("edges",))
+        edges = buffers["edges"].data
+        # Strong response along the step column, none far away.
+        assert edges[8, 8] > 1.0
+        assert edges[8, 3] == pytest.approx(0.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            sobel3_app(height=2, width=10)
+
+
+class TestMedian:
+    def test_salt_and_pepper_removed(self, v100):
+        kernel, buffers = median_app(height=48, width=48, seed=4)
+        noisy = buffers["noisy"].data.copy()
+        _run(v100, kernel, buffers, ("noisy",), ("filtered",))
+        filtered = buffers["filtered"].data
+        interior = filtered[1:-1, 1:-1]
+        # Impulses (exact 0/1) largely eliminated in the interior.
+        impulses_before = np.sum((noisy[1:-1, 1:-1] == 0) | (noisy[1:-1, 1:-1] == 1))
+        impulses_after = np.sum((interior == 0) | (interior == 1))
+        assert impulses_before > 0
+        assert impulses_after < impulses_before * 0.2
+
+    def test_median_preserves_constant_regions(self, v100):
+        kernel, buffers = median_app(height=16, width=16)
+        buffers["noisy"].data[:] = 0.42
+        _run(v100, kernel, buffers, ("noisy",), ("filtered",))
+        assert np.allclose(buffers["filtered"].data, 0.42)

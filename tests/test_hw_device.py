@@ -1,0 +1,134 @@
+"""Simulated GPU device state machine."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hw.device import ClockPermissionError, SimulatedGPU
+from repro.hw.specs import NVIDIA_V100
+
+
+def test_initial_clocks_are_defaults(v100):
+    assert v100.core_mhz == NVIDIA_V100.default_core_mhz
+    assert v100.mem_mhz == NVIDIA_V100.default_mem_mhz
+
+
+def test_execute_advances_clock(v100, compute_kernel):
+    record = v100.execute(compute_kernel)
+    assert record.end_s > record.start_s
+    assert v100.clock.now == pytest.approx(record.end_s)
+
+
+def test_execute_serializes_kernels(v100, compute_kernel):
+    first = v100.execute(compute_kernel)
+    second = v100.execute(compute_kernel)
+    assert second.start_s >= first.end_s
+
+
+def test_record_carries_clocks_and_energy(v100, compute_kernel):
+    record = v100.execute(compute_kernel)
+    assert record.core_mhz == NVIDIA_V100.default_core_mhz
+    assert record.energy_j == pytest.approx(record.avg_power_w * record.time_s)
+    assert record.energy_j > 0
+
+
+def test_set_application_clocks(v100):
+    target = NVIDIA_V100.core_freqs_mhz[10]
+    v100.set_application_clocks(877, target)
+    assert v100.core_mhz == target
+
+
+def test_set_clocks_rejects_unsupported(v100):
+    with pytest.raises(ConfigurationError):
+        v100.set_application_clocks(877, 1000)  # not a table entry
+
+
+def test_restricted_device_rejects_unprivileged(v100):
+    v100.set_api_restriction(True)
+    with pytest.raises(ClockPermissionError):
+        v100.set_application_clocks(877, NVIDIA_V100.core_freqs_mhz[0])
+
+
+def test_restricted_device_accepts_privileged(v100):
+    v100.set_api_restriction(True)
+    v100.set_application_clocks(
+        877, NVIDIA_V100.core_freqs_mhz[0], privileged=True
+    )
+    assert v100.core_mhz == NVIDIA_V100.core_freqs_mhz[0]
+
+
+def test_reset_restores_defaults(v100):
+    v100.set_application_clocks(877, NVIDIA_V100.core_freqs_mhz[0])
+    v100.reset_application_clocks()
+    assert v100.core_mhz == NVIDIA_V100.default_core_mhz
+
+
+def test_clock_set_calls_counted(v100):
+    v100.set_application_clocks(877, NVIDIA_V100.core_freqs_mhz[5])
+    v100.reset_application_clocks()
+    assert v100.clock_set_calls == 2
+
+
+def test_lower_clock_slows_and_reduces_power(v100, compute_kernel):
+    fast = v100.execute(compute_kernel)
+    v100.set_application_clocks(877, NVIDIA_V100.core_freqs_mhz[40])
+    slow = v100.execute(compute_kernel)
+    assert slow.time_s > fast.time_s
+    assert slow.avg_power_w < fast.avg_power_w
+
+
+def test_clocks_at_history(v100):
+    t0 = v100.clock.now
+    v100.clock.advance(1.0)
+    v100.set_application_clocks(877, NVIDIA_V100.core_freqs_mhz[0])
+    assert v100.clocks_at(t0) == (
+        NVIDIA_V100.default_core_mhz,
+        NVIDIA_V100.default_mem_mhz,
+    )
+    assert v100.clocks_at(v100.clock.now) == (NVIDIA_V100.core_freqs_mhz[0], 877)
+
+
+class TestEnergyAccounting:
+    def test_busy_energy_matches_record(self, v100, compute_kernel):
+        record = v100.execute(compute_kernel)
+        measured = v100.energy_between(record.start_s, record.end_s)
+        assert measured == pytest.approx(record.energy_j, rel=1e-9)
+
+    def test_idle_energy_uses_idle_power(self, v100):
+        v100.clock.advance(2.0)
+        energy = v100.energy_between(0.0, 2.0)
+        idle_p = v100.power_model.idle_power(v100.core_mhz, v100.mem_mhz)
+        assert energy == pytest.approx(idle_p * 2.0)
+
+    def test_window_covers_busy_and_idle(self, v100, compute_kernel):
+        record = v100.execute(compute_kernel)
+        v100.clock.advance(1.0)
+        total = v100.energy_between(0.0, v100.clock.now)
+        idle_p = v100.power_model.idle_power(v100.core_mhz, v100.mem_mhz)
+        assert total == pytest.approx(record.energy_j + idle_p * 1.0, rel=1e-6)
+
+    def test_energy_is_additive_over_subwindows(self, v100, compute_kernel):
+        v100.execute(compute_kernel)
+        v100.clock.advance(0.5)
+        v100.execute(compute_kernel)
+        end = v100.clock.now
+        mid = end / 2
+        whole = v100.energy_between(0.0, end)
+        split = v100.energy_between(0.0, mid) + v100.energy_between(mid, end)
+        assert whole == pytest.approx(split, rel=1e-9)
+
+    def test_idle_energy_respects_clock_changes(self, v100):
+        v100.clock.advance(1.0)
+        v100.set_application_clocks(877, NVIDIA_V100.core_freqs_mhz[0])
+        v100.clock.advance(1.0)
+        energy = v100.energy_between(0.0, 2.0)
+        p_hi = v100.power_model.idle_power(NVIDIA_V100.default_core_mhz, 877)
+        p_lo = v100.power_model.idle_power(NVIDIA_V100.core_freqs_mhz[0], 877)
+        assert energy == pytest.approx(p_hi + p_lo, rel=1e-9)
+
+    def test_instantaneous_power_busy_vs_idle(self, v100, compute_kernel):
+        record = v100.execute(compute_kernel)
+        mid = (record.start_s + record.end_s) / 2
+        assert v100.instantaneous_power(mid) == pytest.approx(record.avg_power_w)
+        after = record.end_s + 1.0
+        idle_p = v100.power_model.idle_power(v100.core_mhz, v100.mem_mhz)
+        assert v100.instantaneous_power(after) == pytest.approx(idle_p)

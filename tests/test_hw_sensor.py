@@ -1,0 +1,87 @@
+"""Sampled power sensor: the §4.4 measurement limitations."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.hw.sensor import DEFAULT_SAMPLING_INTERVAL_S, PowerSensor
+
+
+def test_default_sampling_interval_is_15ms(v100):
+    assert DEFAULT_SAMPLING_INTERVAL_S == pytest.approx(15e-3)
+    assert PowerSensor(v100).sampling_interval_s == pytest.approx(15e-3)
+
+
+def test_samples_on_global_grid(v100):
+    sensor = PowerSensor(v100, noise_std_w=0.0)
+    samples = sensor.sample_window(0.020, 0.050)
+    ticks = [round(s.t / sensor.sampling_interval_s) for s in samples]
+    for s, k in zip(samples, ticks):
+        assert s.t == pytest.approx(k * sensor.sampling_interval_s)
+
+
+def test_sampling_is_deterministic(v100):
+    sensor = PowerSensor(v100, seed=3)
+    a = sensor.measure_energy(0.0, 0.2)
+    b = sensor.measure_energy(0.0, 0.2)
+    assert a == b
+
+
+def test_idle_window_energy_close_to_truth(v100):
+    v100.clock.advance(1.0)
+    sensor = PowerSensor(v100, noise_std_w=0.5)
+    est = sensor.measure_energy(0.0, 1.0)
+    true = v100.energy_between(0.0, 1.0)
+    assert est == pytest.approx(true, rel=0.05)
+
+
+def test_long_kernel_energy_accurate(v100, compute_kernel):
+    # Make the kernel much longer than the sampling period.
+    from dataclasses import replace
+
+    kernel = replace(
+        compute_kernel.with_work_items(1 << 26), mix=compute_kernel.mix.scaled(512)
+    )
+    record = v100.execute(kernel)
+    assert record.time_s > 20 * DEFAULT_SAMPLING_INTERVAL_S
+    sensor = PowerSensor(v100, noise_std_w=1.0)
+    est = sensor.measure_energy(record.start_s, record.end_s)
+    assert est == pytest.approx(record.energy_j, rel=0.05)
+
+
+def test_short_kernel_energy_inaccurate(v100, compute_kernel):
+    """Kernels shorter than the sampling period mis-measure (§4.4)."""
+    kernel = compute_kernel.with_work_items(1 << 16)
+    v100.clock.advance(0.005)  # start mid-sampling-interval, as real kernels do
+    record = v100.execute(kernel)
+    assert record.time_s < DEFAULT_SAMPLING_INTERVAL_S
+    sensor = PowerSensor(v100, noise_std_w=0.0, lag_fraction=0.5)
+    est = sensor.measure_energy(record.start_s, record.end_s)
+    # The lagged sample sees pre-kernel idle power: large relative error.
+    assert abs(est - record.energy_j) / record.energy_j > 0.10
+
+
+def test_average_power_positive(v100):
+    v100.clock.advance(0.1)
+    sensor = PowerSensor(v100)
+    assert sensor.measure_average_power(0.0, 0.1) > 0
+
+
+def test_reversed_window_rejected(v100):
+    sensor = PowerSensor(v100)
+    with pytest.raises(ValidationError):
+        sensor.sample_window(1.0, 0.5)
+
+
+def test_invalid_parameters_rejected(v100):
+    with pytest.raises(ValidationError):
+        PowerSensor(v100, sampling_interval_s=0.0)
+    with pytest.raises(ValidationError):
+        PowerSensor(v100, lag_fraction=1.5)
+    with pytest.raises(ValidationError):
+        PowerSensor(v100, noise_std_w=-1.0)
+
+
+def test_noise_never_negative_power(v100):
+    sensor = PowerSensor(v100, noise_std_w=500.0, seed=1)
+    samples = sensor.sample_window(0.0, 0.5)
+    assert all(s.power_w >= 0.0 for s in samples)

@@ -1,0 +1,118 @@
+"""Roofline timing model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.specs import NVIDIA_V100
+from repro.hw.timing import TimingModel
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+
+@pytest.fixture
+def tm() -> TimingModel:
+    return TimingModel(NVIDIA_V100)
+
+
+@pytest.fixture
+def compute(compute_kernel) -> KernelIR:
+    return compute_kernel
+
+
+@pytest.fixture
+def memory(memory_kernel) -> KernelIR:
+    return memory_kernel
+
+
+def test_time_positive(tm, compute):
+    assert tm.execute(compute, 1315, 877).time_s > 0
+
+
+def test_compute_kernel_scales_with_core_frequency(tm, compute):
+    slow = tm.execute(compute, 500, 877).time_s
+    fast = tm.execute(compute, 1500, 877).time_s
+    assert slow > fast
+    # Near-inverse scaling for a compute-bound kernel.
+    assert slow / fast == pytest.approx(3.0, rel=0.15)
+
+
+def test_memory_kernel_flat_above_knee(tm, memory):
+    knee = NVIDIA_V100.bw_knee * NVIDIA_V100.max_core_mhz
+    t_hi = tm.execute(memory, 1530, 877).time_s
+    t_mid = tm.execute(memory, int(knee * 1.2), 877).time_s
+    assert t_mid == pytest.approx(t_hi, rel=0.08)
+
+
+def test_memory_kernel_slows_below_knee(tm, memory):
+    knee = NVIDIA_V100.bw_knee * NVIDIA_V100.max_core_mhz
+    t_hi = tm.execute(memory, 1530, 877).time_s
+    t_low = tm.execute(memory, int(knee * 0.5), 877).time_s
+    assert t_low > 1.5 * t_hi
+
+
+def test_utilizations_bounded(tm, compute, memory):
+    for kernel in (compute, memory):
+        timing = tm.execute(kernel, 1000, 877)
+        assert 0.0 <= timing.u_core <= 1.0
+        assert 0.0 <= timing.u_mem <= 1.0
+
+
+def test_compute_kernel_is_core_dominated(tm, compute):
+    timing = tm.execute(compute, 1530, 877)
+    assert timing.u_core > timing.u_mem
+
+
+def test_memory_kernel_is_mem_dominated(tm, memory):
+    timing = tm.execute(memory, 1530, 877)
+    assert timing.u_mem > timing.u_core
+
+
+def test_smooth_max_at_least_each_phase(tm, compute):
+    timing = tm.execute(compute, 1000, 877)
+    assert timing.time_s >= timing.t_comp
+    assert timing.time_s >= timing.t_mem
+
+
+def test_launch_overhead_included(tm):
+    tiny = KernelIR("tiny", InstructionMix(float_add=1, gl_access=1), work_items=1)
+    timing = tm.execute(tiny, 1530, 877)
+    assert timing.time_s >= NVIDIA_V100.launch_overhead_s
+
+
+def test_sweep_matches_pointwise(tm, compute):
+    freqs = np.array([300.0, 900.0, 1500.0])
+    swept = tm.sweep(compute, freqs, 877.0)
+    for f, timing in zip(freqs, swept):
+        single = tm.execute(compute, float(f), 877.0)
+        assert timing.time_s == pytest.approx(single.time_s)
+
+
+def test_effective_bandwidth_capped_at_peak(tm):
+    bw = tm.effective_bandwidth(1530, 877)
+    assert bw <= NVIDIA_V100.peak_bandwidth_gbs * 1e9 * (1 + 1e-12)
+
+
+class TestSwitchingActivity:
+    def test_fma_stream_is_high_activity(self, tm):
+        k = KernelIR(
+            "fma", InstructionMix(float_add=32, float_mul=32, gl_access=1),
+            work_items=1024,
+        )
+        assert tm.switching_activity(k) > 0.8
+
+    def test_divider_stream_is_low_activity(self, tm):
+        k = KernelIR(
+            "div", InstructionMix(float_div=16, sf=16, gl_access=1),
+            work_items=1024,
+        )
+        assert tm.switching_activity(k) < 0.35
+
+    def test_activity_in_unit_interval(self, tm, compute, memory):
+        for kernel in (compute, memory):
+            assert 0.0 < tm.switching_activity(kernel) <= 1.0
+
+    def test_core_power_utilization_combines(self, tm, compute):
+        timing = tm.execute(compute, 1315, 877)
+        assert timing.core_power_utilization == pytest.approx(
+            timing.u_core * timing.activity
+        )

@@ -1,0 +1,66 @@
+"""Voltage/frequency curve."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hw.voltage import VoltageCurve
+
+
+@pytest.fixture
+def curve() -> VoltageCurve:
+    return VoltageCurve(f_min_mhz=135, f_max_mhz=1530)
+
+
+def test_endpoints(curve):
+    assert curve.voltage(135) == pytest.approx(curve.v_min)
+    assert curve.voltage(1530) == pytest.approx(curve.v_max)
+
+
+def test_monotone_increasing(curve):
+    freqs = np.linspace(135, 1530, 50)
+    volts = curve.voltage(freqs)
+    assert np.all(np.diff(volts) > 0)
+
+
+def test_clips_below_range(curve):
+    assert curve.voltage(50) == pytest.approx(curve.v_min)
+
+
+def test_clips_above_range(curve):
+    assert curve.voltage(2000) == pytest.approx(curve.v_max)
+
+
+def test_superlinear_shape(curve):
+    # gamma > 1: the midpoint voltage is below the affine midpoint.
+    mid = curve.voltage((135 + 1530) / 2)
+    affine_mid = (curve.v_min + curve.v_max) / 2
+    assert mid < affine_mid
+
+
+def test_normalized_v2f_is_one_at_max(curve):
+    assert curve.normalized_v2f(1530) == pytest.approx(1.0)
+
+
+def test_normalized_v2f_monotone(curve):
+    freqs = np.linspace(135, 1530, 50)
+    scale = curve.normalized_v2f(freqs)
+    assert np.all(np.diff(scale) > 0)
+    assert np.all(scale > 0)
+    assert scale[-1] == pytest.approx(1.0)
+
+
+def test_vector_matches_scalar(curve):
+    freqs = np.array([300.0, 900.0, 1500.0])
+    vec = curve.voltage(freqs)
+    for f, v in zip(freqs, vec):
+        assert curve.voltage(float(f)) == pytest.approx(v)
+
+
+def test_invalid_ranges_rejected():
+    with pytest.raises(ConfigurationError):
+        VoltageCurve(f_min_mhz=1000, f_max_mhz=500)
+    with pytest.raises(ConfigurationError):
+        VoltageCurve(f_min_mhz=100, f_max_mhz=500, v_min=1.1, v_max=1.0)
+    with pytest.raises(ConfigurationError):
+        VoltageCurve(f_min_mhz=100, f_max_mhz=500, gamma=0.0)

@@ -1,0 +1,163 @@
+"""End-to-end integration: the full SYnergy pipeline across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CloverLeaf, get_benchmark
+from repro.core import SynergyCompiler, SynergyQueue
+from repro.core.models import EnergyModelBundle
+from repro.experiments.sweep import sweep_kernel
+from repro.experiments.training import microbench_training_set
+from repro.hw.specs import AMD_MI100, NVIDIA_V100
+from repro.hw.device import SimulatedGPU
+from repro.metrics.targets import ES_50, MIN_EDP, MIN_ENERGY, PL_25
+from repro.mpi.launcher import launch_ranks
+from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
+from repro.slurm.job import JobSpec, JobState
+from repro.slurm.plugin import NvGpuFreqPlugin
+from repro.slurm.scheduler import Scheduler
+from repro.sycl import set_default_device
+
+
+@pytest.fixture(scope="module")
+def bundle() -> EnergyModelBundle:
+    training = microbench_training_set(NVIDIA_V100, freq_stride=10, random_count=8)
+    return EnergyModelBundle().fit(training)
+
+
+class TestSingleNodePipeline:
+    """Train -> compile -> run with targets on one device (the §3.2 flow)."""
+
+    def test_compiled_app_saves_energy(self, bundle):
+        gpu = SimulatedGPU(NVIDIA_V100)
+        set_default_device(gpu)
+        # Long-running kernels, so the clock-switch overhead amortizes as
+        # it does for real application workloads (§4.4).
+        kernels = [
+            get_benchmark("median").kernel.with_work_items(1 << 26),
+            get_benchmark("gemm").kernel.with_work_items(1 << 24),
+            get_benchmark("black_scholes").kernel.with_work_items(1 << 26),
+        ]
+        app = SynergyCompiler(bundle, NVIDIA_V100).compile(kernels, [MIN_ENERGY])
+
+        # Baseline: default clocks.
+        q_base = SynergyQueue(gpu)
+        t0 = gpu.clock.now
+        for k in kernels:
+            q_base.submit(lambda h, k=k: h.parallel_for(k.work_items, k))
+        q_base.wait()
+        base_energy = gpu.energy_between(t0, gpu.clock.now)
+
+        # Tuned: per-kernel MIN_ENERGY clocks from the compiled plan.
+        q_tuned = SynergyQueue(gpu, plan=app.plan)
+        t1 = gpu.clock.now
+        for k in kernels:
+            q_tuned.submit(MIN_ENERGY, lambda h, k=k: h.parallel_for(k.work_items, k))
+        q_tuned.wait()
+        q_tuned.reset_frequency()
+        tuned_energy = gpu.energy_between(t1, gpu.clock.now)
+
+        assert tuned_energy < base_energy
+        saving = 1.0 - tuned_energy / base_energy
+        assert saving > 0.08
+
+    def test_plan_is_portable_across_boards(self, bundle):
+        """The same compiled plan drives any board of the same model."""
+        app = SynergyCompiler(bundle, NVIDIA_V100).compile(
+            [get_benchmark("sobel3").kernel], [MIN_EDP]
+        )
+        for _ in range(2):
+            gpu = SimulatedGPU(NVIDIA_V100)
+            queue = SynergyQueue(gpu, plan=app.plan)
+            k = get_benchmark("sobel3").kernel
+            e = queue.submit(MIN_EDP, lambda h: h.parallel_for(k.work_items, k))
+            mem, core = app.plan.lookup("sobel3", MIN_EDP)
+            assert e.record.core_mhz == core
+
+    def test_amd_pipeline(self):
+        """The identical flow works on the AMD backend (§4 portability)."""
+        training = microbench_training_set(AMD_MI100, freq_stride=1, random_count=6)
+        bundle = EnergyModelBundle().fit(training)
+        app = SynergyCompiler(bundle, AMD_MI100).compile(
+            [get_benchmark("median").kernel], [MIN_ENERGY]
+        )
+        gpu = SimulatedGPU(AMD_MI100)
+        queue = SynergyQueue(gpu, plan=app.plan)
+        k = get_benchmark("median").kernel
+        e = queue.submit(MIN_ENERGY, lambda h: h.parallel_for(k.work_items, k))
+        assert e.record.core_mhz in AMD_MI100.core_freqs_mhz
+        assert e.record.core_mhz < AMD_MI100.default_core_mhz
+
+
+class TestClusterPipeline:
+    """Compile -> SLURM submit -> plugin grant -> MPI app -> cleanup."""
+
+    def test_full_cluster_run(self, bundle):
+        app_template = CloverLeaf(steps=2)
+        compiled = SynergyCompiler(bundle, NVIDIA_V100).compile(
+            list(app_template.timestep_kernels()), [ES_50, PL_25]
+        )
+        cluster = Cluster.build(
+            NVIDIA_V100, n_nodes=2, gpus_per_node=4, gres={NVGPUFREQ_GRES}
+        )
+        scheduler = Scheduler(cluster, plugins=[NvGpuFreqPlugin()])
+
+        def payload(context):
+            comm = launch_ranks(context)
+            return CloverLeaf(steps=2).run(comm, target=ES_50, plan=compiled.plan)
+
+        job = scheduler.submit(
+            JobSpec(
+                name="clover-es50",
+                n_nodes=2,
+                exclusive=True,
+                gres=frozenset({NVGPUFREQ_GRES}),
+                payload=payload,
+            )
+        )
+        assert job.state is JobState.COMPLETED
+        report = job.result
+        assert report.n_ranks == 8
+        assert report.gpu_energy_j > 0
+        assert job.gpu_energy_j == pytest.approx(report.gpu_energy_j, rel=0.2)
+        # Epilogue restored the production posture.
+        for node in cluster.nodes:
+            for gpu in node.gpus:
+                assert gpu.api_restricted
+                assert gpu.core_mhz == NVIDIA_V100.default_core_mhz
+
+    def test_unprivileged_job_cannot_scale(self, bundle):
+        """Without the GRES request the plugin never lowers privileges."""
+        app_template = CloverLeaf(steps=1)
+        compiled = SynergyCompiler(bundle, NVIDIA_V100).compile(
+            list(app_template.timestep_kernels()), [ES_50]
+        )
+        cluster = Cluster.build(
+            NVIDIA_V100, n_nodes=1, gpus_per_node=4, gres={NVGPUFREQ_GRES}
+        )
+        scheduler = Scheduler(cluster, plugins=[NvGpuFreqPlugin()])
+
+        def payload(context):
+            comm = launch_ranks(context)
+            return CloverLeaf(steps=1).run(comm, target=ES_50, plan=compiled.plan)
+
+        job = scheduler.submit(
+            JobSpec(name="no-gres", n_nodes=1, exclusive=True, payload=payload)
+        )
+        assert job.state is JobState.FAILED
+        assert "restricted" in job.error
+
+
+class TestModelActualConsistency:
+    def test_predicted_min_energy_close_to_oracle(self, bundle):
+        """Predicted-optimal clocks realize near-optimal measured energy."""
+        from repro.core.predictor import FrequencyPredictor
+
+        predictor = FrequencyPredictor(bundle, NVIDIA_V100)
+        for name in ("gemm", "median", "black_scholes", "nbody"):
+            kernel = get_benchmark(name).kernel
+            sweep = sweep_kernel(NVIDIA_V100, kernel)
+            idx = predictor.predict_index(kernel, MIN_ENERGY)
+            best = float(sweep.energy_j.min())
+            realized = float(sweep.energy_j[idx])
+            assert realized <= best * 1.15, name

@@ -1,0 +1,61 @@
+"""EDP/ED2P and the error measures."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.metrics.energy import ed2p, edp
+from repro.metrics.errors import ape, mape, rmse
+
+
+class TestEnergyDelay:
+    def test_edp_scalar(self):
+        assert edp(10.0, 2.0) == pytest.approx(20.0)
+
+    def test_ed2p_scalar(self):
+        assert ed2p(10.0, 2.0) == pytest.approx(40.0)
+
+    def test_vectorized(self):
+        e = np.array([1.0, 2.0])
+        t = np.array([3.0, 4.0])
+        assert np.allclose(edp(e, t), [3.0, 8.0])
+        assert np.allclose(ed2p(e, t), [9.0, 32.0])
+
+    def test_ed2p_weights_delay_more(self):
+        # Same EDP, different delay: ED2P prefers the faster point.
+        assert ed2p(4.0, 1.0) < ed2p(1.0, 4.0)
+
+
+class TestErrorMetrics:
+    def test_ape_basic(self):
+        assert ape(100.0, 90.0) == pytest.approx(0.1)
+
+    def test_ape_zero_actual_zero_pred(self):
+        assert ape(0.0, 0.0) == 0.0
+
+    def test_ape_zero_actual_nonzero_pred(self):
+        with pytest.raises(ValidationError):
+            ape(0.0, 1.0)
+
+    def test_ape_rejects_arrays(self):
+        with pytest.raises(ValidationError):
+            ape([1.0, 2.0], [1.0, 2.0])
+
+    def test_mape(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(0.1)
+
+    def test_mape_zero_actual_rejected(self):
+        with pytest.raises(ValidationError):
+            mape([0.0, 1.0], [1.0, 1.0])
+
+    def test_rmse(self):
+        assert rmse([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            rmse([], [])

@@ -1,0 +1,162 @@
+"""ES_x / PL_x selection rules and the EnergyTarget vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.metrics.targets import (
+    ES_25,
+    ES_50,
+    ES_100,
+    EnergyTarget,
+    MAX_PERF,
+    MIN_ED2P,
+    MIN_EDP,
+    MIN_ENERGY,
+    PL_25,
+    PL_50,
+    TABLE2_OBJECTIVES,
+    TargetKind,
+)
+from repro.metrics.tradeoff import energy_saving_index, performance_loss_index
+
+
+@pytest.fixture
+def sweep():
+    """A synthetic sweep: time falls with f, energy has an interior min."""
+    freqs = np.linspace(400, 1600, 13)
+    times = 100.0 / freqs + 0.02
+    energies = 50.0 / freqs + (freqs / 800.0) ** 2  # min around 800 MHz
+    default_index = 10  # near the top, like real drivers
+    return freqs, times, energies, default_index
+
+
+class TestEnergySaving:
+    def test_es_100_is_min_energy(self, sweep):
+        freqs, t, e, d = sweep
+        assert energy_saving_index(freqs, t, e, d, 100.0) == int(np.argmin(e))
+
+    def test_es_0_best_perf_without_exceeding_default_energy(self, sweep):
+        freqs, t, e, d = sweep
+        idx = energy_saving_index(freqs, t, e, d, 0.0)
+        # ES_0 requires "no more energy than default" and picks the best
+        # performer among those configurations.
+        eligible = np.flatnonzero(e <= e[d])
+        assert e[idx] <= e[d] + 1e-12
+        assert t[idx] == pytest.approx(t[eligible].min())
+
+    def test_es_monotone_in_percent(self, sweep):
+        freqs, t, e, d = sweep
+        energies = [
+            e[energy_saving_index(freqs, t, e, d, p)] for p in (0, 25, 50, 75, 100)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(energies, energies[1:]))
+
+    def test_es_meets_saving_threshold(self, sweep):
+        freqs, t, e, d = sweep
+        for p in (25.0, 50.0, 75.0):
+            idx = energy_saving_index(freqs, t, e, d, p)
+            required = e[d] - (p / 100.0) * (e[d] - e.min())
+            assert e[idx] <= required + 1e-12
+
+    def test_degenerate_default_is_min(self):
+        freqs = np.array([1.0, 2.0])
+        t = np.array([2.0, 1.0])
+        e = np.array([1.0, 2.0])
+        assert energy_saving_index(freqs, t, e, 0, 50.0) == 0
+
+    def test_percent_out_of_range(self, sweep):
+        freqs, t, e, d = sweep
+        with pytest.raises(ValidationError):
+            energy_saving_index(freqs, t, e, d, 101.0)
+
+
+class TestPerformanceLoss:
+    def test_pl_0_keeps_default_performance(self, sweep):
+        freqs, t, e, d = sweep
+        idx = performance_loss_index(freqs, t, e, d, 0.0)
+        assert t[idx] <= t[d] + 1e-12
+
+    def test_pl_respects_loss_budget(self, sweep):
+        freqs, t, e, d = sweep
+        perf = 1.0 / t
+        e_min_idx = int(np.argmin(e))
+        for p in (25.0, 50.0, 75.0):
+            idx = performance_loss_index(freqs, t, e, d, p)
+            budget = perf[d] - (p / 100.0) * max(perf[d] - perf[e_min_idx], 0.0)
+            assert perf[idx] >= budget - 1e-12
+
+    def test_pl_monotone_energy_in_percent(self, sweep):
+        freqs, t, e, d = sweep
+        energies = [
+            e[performance_loss_index(freqs, t, e, d, p)] for p in (0, 25, 50, 75, 100)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(energies, energies[1:]))
+
+    def test_validation(self, sweep):
+        freqs, t, e, d = sweep
+        with pytest.raises(ValidationError):
+            performance_loss_index(freqs, t, e, 99, 25.0)
+        with pytest.raises(ValidationError):
+            performance_loss_index(freqs, t * 0.0, e, d, 25.0)
+
+
+class TestEnergyTarget:
+    def test_parse_simple(self):
+        assert EnergyTarget.parse("MIN_EDP") == MIN_EDP
+        assert EnergyTarget.parse("max_perf") == MAX_PERF
+
+    def test_parse_percent(self):
+        assert EnergyTarget.parse("ES_25") == ES_25
+        assert EnergyTarget.parse("PL_50") == PL_50
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValidationError):
+            EnergyTarget.parse("ES")
+        with pytest.raises(ValidationError):
+            EnergyTarget.parse("FASTEST")
+
+    def test_percent_required_for_es(self):
+        with pytest.raises(ValidationError):
+            EnergyTarget(TargetKind.ES)
+
+    def test_percent_forbidden_for_simple(self):
+        with pytest.raises(ValidationError):
+            EnergyTarget(TargetKind.MIN_EDP, 25.0)
+
+    def test_name_roundtrip(self):
+        for target in TABLE2_OBJECTIVES:
+            assert EnergyTarget.parse(target.name) == target
+
+    def test_resolve_max_perf(self, sweep):
+        freqs, t, e, d = sweep
+        assert MAX_PERF.resolve_index(freqs, t, e, d) == int(np.argmin(t))
+
+    def test_resolve_min_energy(self, sweep):
+        freqs, t, e, d = sweep
+        assert MIN_ENERGY.resolve_index(freqs, t, e, d) == int(np.argmin(e))
+
+    def test_resolve_edp_between_extremes(self, sweep):
+        freqs, t, e, d = sweep
+        idx_edp = MIN_EDP.resolve_index(freqs, t, e, d)
+        idx_e = MIN_ENERGY.resolve_index(freqs, t, e, d)
+        idx_t = MAX_PERF.resolve_index(freqs, t, e, d)
+        assert min(idx_e, idx_t) <= idx_edp <= max(idx_e, idx_t)
+
+    def test_resolve_ed2p_closer_to_max_perf(self, sweep):
+        """Fig. 4b: ED2P's optimum is near the maximum frequency."""
+        freqs, t, e, d = sweep
+        idx_ed2p = MIN_ED2P.resolve_index(freqs, t, e, d)
+        idx_edp = MIN_EDP.resolve_index(freqs, t, e, d)
+        assert idx_ed2p >= idx_edp
+
+    def test_table2_objective_list(self):
+        names = [t.name for t in TABLE2_OBJECTIVES]
+        assert names == [
+            "MAX_PERF", "MIN_ENERGY", "MIN_EDP", "MIN_ED2P",
+            "ES_25", "ES_50", "ES_75", "PL_25", "PL_50", "PL_75",
+        ]
+
+    def test_str(self):
+        assert str(ES_50) == "ES_50"
+        assert str(MIN_ED2P) == "MIN_ED2P"

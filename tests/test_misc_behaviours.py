@@ -1,0 +1,125 @@
+"""Additional behaviours: plugin ordering, handler single_task, tuner
+properties on synthetic curves, NVML argument validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import OnlineFrequencyTuner
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+from repro.metrics.targets import MIN_ENERGY
+from repro.slurm.cluster import Cluster
+from repro.slurm.job import JobSpec
+from repro.slurm.scheduler import Scheduler
+from repro.sycl import Queue
+
+
+class _RecordingPlugin:
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def prologue(self, job, node):
+        self.log.append(("pro", self.name, node.name))
+
+    def epilogue(self, job, node):
+        self.log.append(("epi", self.name, node.name))
+
+
+class TestPluginOrdering:
+    def test_plugins_run_in_registration_order(self):
+        cluster = Cluster.build(NVIDIA_V100, n_nodes=2, gpus_per_node=1)
+        log: list[tuple] = []
+        scheduler = Scheduler(
+            cluster,
+            plugins=[_RecordingPlugin("first", log), _RecordingPlugin("second", log)],
+        )
+        scheduler.submit(JobSpec(name="j", n_nodes=2, payload=lambda c: None))
+        prologue_calls = [entry for entry in log if entry[0] == "pro"]
+        assert [p[1] for p in prologue_calls] == ["first", "first", "second", "second"]
+        # Every plugin's epilogue ran on every node.
+        epilogue_calls = {(e[1], e[2]) for e in log if e[0] == "epi"}
+        assert epilogue_calls == {
+            ("first", "node000"), ("first", "node001"),
+            ("second", "node000"), ("second", "node001"),
+        }
+
+    def test_epilogues_run_after_payload_failure(self):
+        cluster = Cluster.build(NVIDIA_V100, n_nodes=1, gpus_per_node=1)
+        log: list[tuple] = []
+        scheduler = Scheduler(cluster, plugins=[_RecordingPlugin("p", log)])
+
+        def boom(context):
+            raise RuntimeError("nope")
+
+        scheduler.submit(JobSpec(name="j", n_nodes=1, payload=boom))
+        assert ("epi", "p", "node000") in log
+
+
+class TestSingleTask:
+    def test_single_task_runs_one_item(self, v100):
+        queue = Queue(v100)
+        kernel = KernelIR(
+            "st", InstructionMix(float_add=4, gl_access=1), work_items=1 << 20
+        )
+        event = queue.submit(lambda h: h.single_task(kernel))
+        # One work-item: essentially launch overhead only.
+        assert event.duration_s < 1e-4
+
+
+class TestNvmlArgumentValidation:
+    def test_invalid_clock_type(self, v100):
+        from repro.vendor.errors import NVML_ERROR_INVALID_ARGUMENT, NVMLError
+        from repro.vendor.nvml import NVMLLibrary
+
+        lib = NVMLLibrary([v100])
+        lib.nvmlInit()
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        with pytest.raises(NVMLError) as exc:
+            lib.nvmlDeviceGetApplicationsClock(handle, 99)
+        assert exc.value.code == NVML_ERROR_INVALID_ARGUMENT
+        with pytest.raises(NVMLError):
+            lib.nvmlDeviceGetAPIRestriction(handle, 99)
+        with pytest.raises(NVMLError):
+            lib.nvmlDeviceGetSupportedGraphicsClocks(handle, 999)
+
+
+class TestTunerOnSyntheticCurves:
+    """Hypothesis: the search finds the minimum of any unimodal curve."""
+
+    @given(
+        st.integers(min_value=5, max_value=60),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_converges_on_unimodal_energy(self, n_freqs, valley_pos):
+        freqs = tuple(range(100, 100 + 10 * n_freqs, 10))
+        valley = 100 + 10 * int(valley_pos * (n_freqs - 1))
+        energy = lambda f: 1.0 + ((f - valley) / 500.0) ** 2  # noqa: E731
+        tuner = OnlineFrequencyTuner(freqs, MIN_ENERGY, tolerance_steps=1)
+        for _ in range(300):
+            if tuner.converged("k"):
+                break
+            f = tuner.next_frequency("k")
+            tuner.observe("k", f, 1.0, energy(f))
+        assert tuner.converged("k")
+        chosen = tuner.next_frequency("k")
+        best = min(freqs, key=energy)
+        # Within a few table steps of the true valley.
+        assert abs(freqs.index(chosen) - freqs.index(best)) <= 4
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_curve_converges_to_endpoint(self, n_freqs):
+        freqs = tuple(range(100, 100 + 100 * n_freqs, 100))
+        tuner = OnlineFrequencyTuner(freqs, MIN_ENERGY, tolerance_steps=1)
+        for _ in range(100):
+            if tuner.converged("k"):
+                break
+            f = tuner.next_frequency("k")
+            tuner.observe("k", f, 1.0, float(f))  # energy rises with f
+        chosen = tuner.next_frequency("k")
+        assert freqs.index(chosen) <= 1

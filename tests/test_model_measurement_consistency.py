@@ -1,0 +1,61 @@
+"""Consistency between the analytic sweep and actual device execution.
+
+``measure_sweep`` computes time/energy directly from the timing/power
+models for speed; the device's ``execute`` path must agree exactly — the
+training data is only trustworthy if both paths describe the same machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models import measure_sweep
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import AMD_MI100, NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+KERNELS = [
+    KernelIR("c", InstructionMix(float_add=30, float_mul=30, gl_access=2),
+             work_items=1 << 22),
+    KernelIR("m", InstructionMix(float_add=1, gl_access=6), work_items=1 << 23),
+    KernelIR(
+        "b",
+        InstructionMix(float_add=10, float_div=4, sf=6, gl_access=8),
+        work_items=1 << 22,
+        locality=0.4,
+    ),
+]
+
+
+@pytest.mark.parametrize("spec", [NVIDIA_V100, AMD_MI100], ids=["v100", "mi100"])
+@pytest.mark.parametrize("kernel", KERNELS, ids=[k.name for k in KERNELS])
+def test_sweep_matches_device_execution(spec, kernel):
+    probe_freqs = spec.core_freqs_mhz[:: max(len(spec.core_freqs_mhz) // 5, 1)]
+    freqs, times, energies = measure_sweep(spec, kernel, core_freqs_mhz=probe_freqs)
+    for f, t, e in zip(freqs, times, energies):
+        gpu = SimulatedGPU(spec)
+        gpu.set_application_clocks(spec.default_mem_mhz, int(f))
+        record = gpu.execute(kernel)
+        assert record.time_s == pytest.approx(t, rel=1e-12)
+        assert record.energy_j == pytest.approx(e, rel=1e-12)
+
+
+def test_training_energy_positive_and_finite():
+    from repro.core.models import build_training_set
+    from repro.kernelir.microbench import generate_microbenchmarks
+
+    ts = build_training_set(
+        NVIDIA_V100,
+        generate_microbenchmarks(random_count=4),
+        core_freqs_mhz=NVIDIA_V100.core_freqs_mhz[::48],
+    )
+    assert np.all(np.isfinite(ts.X))
+    assert np.all(ts.time_s > 0)
+    assert np.all(ts.energy_j > 0)
+    # EDP/ED2P ordering: ed2p = edp * t.
+    assert np.allclose(ts.ed2p_js2, ts.edp_js * ts.time_s)
+    # Kernel ids tag contiguous frequency blocks.
+    n_freqs = len(NVIDIA_V100.core_freqs_mhz[::48])
+    assert np.all(np.diff(ts.kernel_ids) >= 0)
+    counts = np.bincount(ts.kernel_ids)
+    assert np.all(counts == n_freqs)

@@ -1,0 +1,185 @@
+"""Power capping: device throttling, NVML limit APIs, the cap plugin."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.hw.device import ClockPermissionError, SimulatedGPU
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+from repro.slurm.cluster import Cluster
+from repro.slurm.job import JobSpec, JobState
+from repro.slurm.powercap import PowerCapPlugin, redistribute_caps
+from repro.slurm.scheduler import Scheduler
+from repro.vendor.errors import NVML_ERROR_NO_PERMISSION, NVMLError
+from repro.vendor.nvml import NVMLLibrary
+
+
+HOT_KERNEL = KernelIR(
+    "hot",
+    InstructionMix(float_add=128, float_mul=128, gl_access=2),
+    work_items=1 << 24,
+)
+
+
+class TestDeviceThrottling:
+    def test_default_limit_is_peak(self, v100):
+        assert v100.power_limit_w == pytest.approx(
+            v100.power_model.peak_power()
+        )
+
+    def test_unthrottled_kernel_runs_at_app_clock(self, v100):
+        record = v100.execute(HOT_KERNEL)
+        assert record.core_mhz == NVIDIA_V100.default_core_mhz
+
+    def test_throttling_caps_power(self, v100):
+        unconstrained = v100.execute(HOT_KERNEL)
+        cap = unconstrained.avg_power_w * 0.7
+        v100.set_power_limit(cap, privileged=True)
+        throttled = v100.execute(HOT_KERNEL)
+        assert throttled.avg_power_w <= cap + 1e-9
+        assert throttled.core_mhz < unconstrained.core_mhz
+        assert throttled.time_s > unconstrained.time_s
+
+    def test_impossible_cap_runs_at_min_clock(self, v100):
+        v100.set_power_limit(NVIDIA_V100.idle_power_w, privileged=True)
+        record = v100.execute(HOT_KERNEL)
+        assert record.core_mhz == NVIDIA_V100.min_core_mhz
+
+    def test_limit_requires_privilege(self, v100):
+        with pytest.raises(ClockPermissionError):
+            v100.set_power_limit(200.0)
+        with pytest.raises(ClockPermissionError):
+            v100.reset_power_limit()
+
+    def test_limit_range_validated(self, v100):
+        with pytest.raises(ConfigurationError):
+            v100.set_power_limit(1.0, privileged=True)
+        with pytest.raises(ConfigurationError):
+            v100.set_power_limit(10_000.0, privileged=True)
+
+    def test_reset_restores_default(self, v100):
+        v100.set_power_limit(150.0, privileged=True)
+        v100.reset_power_limit(privileged=True)
+        assert v100.power_limit_w == v100.default_power_limit_w
+
+
+class TestNvmlPowerLimitApi:
+    @pytest.fixture
+    def lib(self, v100):
+        lib = NVMLLibrary([v100])
+        lib.nvmlInit()
+        return lib
+
+    def test_get_limits_milliwatts(self, lib, v100):
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        assert lib.nvmlDeviceGetPowerManagementLimit(handle) == int(
+            round(v100.power_limit_w * 1000)
+        )
+        assert lib.nvmlDeviceGetPowerManagementDefaultLimit(handle) == int(
+            round(v100.default_power_limit_w * 1000)
+        )
+
+    def test_set_limit_requires_root(self, lib):
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        with pytest.raises(NVMLError) as exc:
+            lib.nvmlDeviceSetPowerManagementLimit(handle, 200_000)
+        assert exc.value.code == NVML_ERROR_NO_PERMISSION
+
+    def test_root_sets_limit(self, lib, v100):
+        lib.effective_root = True
+        handle = lib.nvmlDeviceGetHandleByIndex(0)
+        lib.nvmlDeviceSetPowerManagementLimit(handle, 180_000)
+        assert v100.power_limit_w == pytest.approx(180.0)
+
+
+class TestRedistributeCaps:
+    def test_idle_nodes_donate(self):
+        caps = [250.0, 250.0]
+        usage = [100.0, 249.0]  # node 0 far under cap, node 1 at cap
+        new = redistribute_caps(caps, usage, floor_w=80.0, ceiling_w=300.0)
+        assert new[0] < 250.0
+        assert new[1] > 250.0
+
+    def test_budget_conserved_without_clipping(self):
+        caps = [250.0, 250.0, 250.0]
+        usage = [100.0, 248.0, 249.0]
+        new = redistribute_caps(caps, usage, floor_w=80.0, ceiling_w=1000.0)
+        assert sum(new) == pytest.approx(sum(caps))
+
+    def test_floor_respected(self):
+        new = redistribute_caps([100.0], [0.0], floor_w=90.0, ceiling_w=300.0)
+        assert new[0] >= 90.0
+
+    def test_ceiling_respected(self):
+        new = redistribute_caps(
+            [200.0, 200.0], [10.0, 200.0], floor_w=50.0, ceiling_w=210.0
+        )
+        assert new[1] <= 210.0
+
+    def test_no_change_when_everyone_hungry(self):
+        caps = [200.0, 200.0]
+        usage = [199.0, 200.0]
+        assert redistribute_caps(caps, usage, 50.0, 300.0) == caps
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            redistribute_caps([100.0], [50.0, 60.0], 50.0, 200.0)
+        with pytest.raises(ValidationError):
+            redistribute_caps([100.0], [50.0], -1.0, 200.0)
+        with pytest.raises(ValidationError):
+            redistribute_caps([100.0], [50.0], 50.0, 200.0, threshold=1.0)
+        with pytest.raises(ValidationError):
+            redistribute_caps([500.0], [50.0], 50.0, 200.0)
+
+
+class TestPowerCapPlugin:
+    def _cluster(self):
+        return Cluster.build(NVIDIA_V100, n_nodes=1, gpus_per_node=2)
+
+    def test_caps_applied_and_restored(self):
+        cluster = self._cluster()
+        plugin = PowerCapPlugin(node_budget_w=300.0)
+        scheduler = Scheduler(cluster, plugins=[plugin])
+
+        observed = {}
+
+        def payload(context):
+            observed["limits"] = [g.power_limit_w for g in context.gpus]
+            record = context.gpus[0].execute(HOT_KERNEL)
+            observed["power"] = record.avg_power_w
+
+        job = scheduler.submit(JobSpec(name="capped", n_nodes=1, payload=payload))
+        assert job.state is JobState.COMPLETED
+        assert observed["limits"] == [pytest.approx(150.0)] * 2
+        assert observed["power"] <= 150.0 + 1e-9
+        for gpu in cluster.nodes[0].gpus:
+            assert gpu.power_limit_w == gpu.default_power_limit_w
+
+    def test_capped_job_slower_but_cheaper_power(self):
+        def run(plugins):
+            cluster = self._cluster()
+            scheduler = Scheduler(cluster, plugins=plugins)
+            job = scheduler.submit(
+                JobSpec(
+                    name="j",
+                    n_nodes=1,
+                    payload=lambda c: c.gpus[0].execute(HOT_KERNEL).time_s,
+                )
+            )
+            return job.result, job.gpu_energy_j
+
+        free_time, _ = run([])
+        capped_time, _ = run([PowerCapPlugin(node_budget_w=280.0)])
+        assert capped_time > free_time
+
+    def test_budget_validation(self):
+        with pytest.raises(ValidationError):
+            PowerCapPlugin(node_budget_w=0.0)
+
+    def test_audit_trail(self):
+        cluster = self._cluster()
+        plugin = PowerCapPlugin(node_budget_w=300.0)
+        scheduler = Scheduler(cluster, plugins=[plugin])
+        job = scheduler.submit(JobSpec(name="a", n_nodes=1, payload=lambda c: None))
+        assert plugin.applied[(job.job_id, "node000")] == pytest.approx(150.0)

@@ -1,0 +1,146 @@
+"""The nvgpufreq plugin: the §7.2 decision chain and cleanup guarantees."""
+
+import pytest
+
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
+from repro.slurm.job import JobSpec, JobState
+from repro.slurm.plugin import NvGpuFreqPlugin, PluginDecision
+from repro.slurm.scheduler import Scheduler
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster.build(
+        NVIDIA_V100, n_nodes=2, gpus_per_node=2, gres={NVGPUFREQ_GRES}
+    )
+
+
+@pytest.fixture
+def plugin() -> NvGpuFreqPlugin:
+    return NvGpuFreqPlugin()
+
+
+@pytest.fixture
+def scheduler(cluster, plugin) -> Scheduler:
+    return Scheduler(cluster, plugins=[plugin])
+
+
+GOOD_SPEC = dict(n_nodes=1, exclusive=True, gres=frozenset({NVGPUFREQ_GRES}))
+LOW_CLOCK = NVIDIA_V100.core_freqs_mhz[0]
+
+
+def _set_low_clocks(context):
+    """A payload that uses the granted privilege to lower clocks."""
+    for gpu in context.gpus:
+        gpu.set_application_clocks(877, LOW_CLOCK)
+        gpu.execute(
+            KernelIR(
+                "k", InstructionMix(float_add=8, gl_access=2), work_items=1 << 20
+            )
+        )
+    return [gpu.core_mhz for gpu in context.gpus]
+
+
+class TestPrologueDecisionChain:
+    def test_granted_when_all_checks_pass(self, scheduler, plugin):
+        job = scheduler.submit(JobSpec(name="good", payload=_set_low_clocks, **GOOD_SPEC))
+        assert job.state is JobState.COMPLETED
+        assert job.result == [LOW_CLOCK, LOW_CLOCK]
+        decisions = [
+            plugin.decisions[(job.job_id, n.name)] for n in job.nodes
+        ]
+        assert decisions == [PluginDecision.GRANTED]
+
+    def test_denied_without_job_gres(self, scheduler, plugin):
+        job = scheduler.submit(
+            JobSpec(name="nogres", n_nodes=1, exclusive=True,
+                    payload=_set_low_clocks)
+        )
+        assert job.state is JobState.FAILED  # clock change raised
+        decision = plugin.decisions[(job.job_id, job.nodes[0].name)]
+        assert decision is PluginDecision.JOB_NOT_TAGGED
+
+    def test_denied_without_exclusive(self, scheduler, plugin):
+        job = scheduler.submit(
+            JobSpec(name="shared", n_nodes=1, exclusive=False,
+                    gres=frozenset({NVGPUFREQ_GRES}), payload=_set_low_clocks)
+        )
+        assert job.state is JobState.FAILED
+        decision = plugin.decisions[(job.job_id, job.nodes[0].name)]
+        assert decision is PluginDecision.JOB_NOT_EXCLUSIVE
+
+    def test_denied_on_untagged_node(self, plugin):
+        cluster = Cluster.build(NVIDIA_V100, n_nodes=1, gpus_per_node=1, gres=set())
+        scheduler = Scheduler(cluster, plugins=[plugin])
+        job = scheduler.submit(
+            JobSpec(name="untagged", payload=_set_low_clocks, **GOOD_SPEC)
+        )
+        assert job.state is JobState.FAILED
+        decision = plugin.decisions[(job.job_id, job.nodes[0].name)]
+        assert decision is PluginDecision.NODE_NOT_TAGGED
+
+    def test_denied_when_nvml_unavailable(self, cluster, plugin):
+        cluster.nodes[0].nvml.available = False
+        scheduler = Scheduler(cluster, plugins=[plugin])
+        job = scheduler.submit(
+            JobSpec(name="nonvml", payload=_set_low_clocks, **GOOD_SPEC)
+        )
+        assert job.state is JobState.FAILED
+        decision = plugin.decisions[(job.job_id, job.nodes[0].name)]
+        assert decision is PluginDecision.NVML_UNAVAILABLE
+
+
+class TestEpilogueCleanup:
+    def test_clocks_restored_after_success(self, scheduler):
+        job = scheduler.submit(JobSpec(name="j", payload=_set_low_clocks, **GOOD_SPEC))
+        for gpu in job.nodes[0].gpus:
+            assert gpu.core_mhz == NVIDIA_V100.default_core_mhz
+            assert gpu.api_restricted
+
+    def test_clocks_restored_after_failure(self, scheduler):
+        def lower_then_crash(context):
+            context.gpus[0].set_application_clocks(877, LOW_CLOCK)
+            raise RuntimeError("application crashed mid-run")
+
+        job = scheduler.submit(
+            JobSpec(name="crash", payload=lower_then_crash, **GOOD_SPEC)
+        )
+        assert job.state is JobState.FAILED
+        gpu = job.nodes[0].gpus[0]
+        assert gpu.core_mhz == NVIDIA_V100.default_core_mhz
+        assert gpu.api_restricted
+
+    def test_next_job_unaffected_by_previous(self, scheduler):
+        """The §2.3 hazard: stale low clocks must never leak forward."""
+        scheduler.submit(JobSpec(name="first", payload=_set_low_clocks, **GOOD_SPEC))
+
+        observed = {}
+
+        def observe(context):
+            observed["clocks"] = [g.core_mhz for g in context.gpus]
+
+        scheduler.submit(
+            JobSpec(name="second", n_nodes=1, payload=observe)
+        )
+        assert observed["clocks"] == [NVIDIA_V100.default_core_mhz] * 2
+
+    def test_epilogue_runs_even_when_prologue_denied(self, scheduler, plugin):
+        job = scheduler.submit(
+            JobSpec(name="denied", n_nodes=1, payload=lambda c: None)
+        )
+        # No grant, but the node still ends in the default posture.
+        for gpu in job.nodes[0].gpus:
+            assert gpu.api_restricted
+            assert gpu.core_mhz == NVIDIA_V100.default_core_mhz
+
+    def test_restriction_restored_without_clock_change(self, scheduler):
+        """A granted job that never scales clocks still gets cleaned up."""
+        job = scheduler.submit(
+            JobSpec(name="lazy", payload=lambda c: "did nothing", **GOOD_SPEC)
+        )
+        assert job.result == "did nothing"
+        for gpu in job.nodes[0].gpus:
+            assert gpu.api_restricted

@@ -1,0 +1,178 @@
+"""Mini-SYCL runtime: buffers, accessors, queue, events, dependencies."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+from repro.sycl import (
+    Buffer,
+    Accessor,
+    EventStatus,
+    Queue,
+    gpu_selector_v,
+    read_only,
+    read_write,
+    set_default_device,
+    write_only,
+)
+
+
+@pytest.fixture
+def queue(v100) -> Queue:
+    set_default_device(v100)
+    return Queue(gpu_selector_v)
+
+
+def _kernel(name="k", items=1 << 20, host_fn=None) -> KernelIR:
+    return KernelIR(
+        name,
+        InstructionMix(float_add=4, float_mul=4, gl_access=2),
+        work_items=items,
+        host_fn=host_fn,
+    )
+
+
+class TestBuffer:
+    def test_from_data_copies(self):
+        src = np.ones(4, dtype=np.float32)
+        buf = Buffer(src)
+        src[0] = 7.0
+        assert buf.data[0] == 1.0
+
+    def test_from_shape(self):
+        buf = Buffer(shape=(2, 3))
+        assert buf.shape == (2, 3)
+        assert buf.size == 6
+        assert (buf.data == 0).all()
+
+    def test_needs_data_or_shape(self):
+        with pytest.raises(ValidationError):
+            Buffer()
+
+    def test_names_unique_by_default(self):
+        assert Buffer(shape=1).name != Buffer(shape=1).name
+
+
+class TestAccessor:
+    def test_read_only_view_is_frozen(self, queue):
+        buf = Buffer(np.zeros(4), name="b")
+
+        def cg(h):
+            acc = Accessor(buf, h, read_only)
+            with pytest.raises((ValueError, ValidationError)):
+                acc[0] = 1.0
+            h.parallel_for(16, _kernel())
+
+        queue.submit(cg)
+
+    def test_write_through_accessor(self, queue):
+        buf = Buffer(np.zeros(4), name="b")
+
+        def host(views):
+            views["b"][:] = 5.0
+
+        queue.submit(
+            lambda h: (Accessor(buf, h, write_only),
+                       h.parallel_for(16, _kernel(host_fn=host)))[-1]
+        )
+        assert (buf.data == 5.0).all()
+
+    def test_invalid_mode_rejected(self, queue):
+        buf = Buffer(shape=4)
+
+        def cg(h):
+            Accessor(buf, h, "read")  # not an AccessMode
+            h.parallel_for(16, _kernel())
+
+        with pytest.raises(ValidationError):
+            queue.submit(cg)
+
+
+class TestQueue:
+    def test_needs_default_device_or_explicit(self):
+        set_default_device(None)
+        with pytest.raises(ConfigurationError):
+            Queue(gpu_selector_v)
+
+    def test_explicit_device(self, v100):
+        q = Queue(v100)
+        assert q.device.gpu is v100
+
+    def test_submit_requires_parallel_for(self, queue):
+        with pytest.raises(ValidationError):
+            queue.submit(lambda h: None)
+
+    def test_double_parallel_for_rejected(self, queue):
+        def cg(h):
+            h.parallel_for(16, _kernel("a"))
+            h.parallel_for(16, _kernel("b"))
+
+        with pytest.raises(ValidationError):
+            queue.submit(cg)
+
+    def test_event_profiling_times(self, queue):
+        e = queue.submit(lambda h: h.parallel_for(1 << 22, _kernel()))
+        assert e.profiling_submit() <= e.profiling_start() < e.profiling_end()
+        assert e.duration_s > 0
+
+    def test_event_complete_after_wait(self, queue):
+        e = queue.submit(lambda h: h.parallel_for(1 << 22, _kernel()))
+        e.wait()
+        assert e.status is EventStatus.COMPLETE
+
+    def test_parallel_for_shortcut(self, queue):
+        e = queue.parallel_for(1 << 20, _kernel())
+        assert e.record is not None
+        assert e.record.kernel_name == "k"
+
+    def test_range_overrides_work_items(self, queue):
+        e = queue.parallel_for(123, _kernel(items=1 << 20))
+        # The executed kernel ran over 123 items (visible via event record
+        # having been created from a resized kernel — its duration is tiny).
+        assert e.duration_s < 1e-3
+
+    def test_tuple_range(self, queue):
+        e = queue.parallel_for((64, 64), _kernel())
+        assert e.record is not None
+
+    def test_kernels_serialize_on_device(self, queue):
+        e1 = queue.parallel_for(1 << 22, _kernel("a"))
+        e2 = queue.parallel_for(1 << 22, _kernel("b"))
+        assert e2.start_s >= e1.end_s
+
+    def test_raw_dependency_orders_start(self, queue):
+        buf = Buffer(shape=16, name="x")
+        e1 = queue.submit(
+            lambda h: (Accessor(buf, h, write_only),
+                       h.parallel_for(1 << 22, _kernel("w")))[-1]
+        )
+        e2 = queue.submit(
+            lambda h: (Accessor(buf, h, read_only),
+                       h.parallel_for(1 << 20, _kernel("r")))[-1]
+        )
+        assert e2.start_s >= e1.end_s
+
+    def test_queue_wait_drains(self, queue, v100):
+        queue.parallel_for(1 << 22, _kernel())
+        queue.wait()
+        assert v100.clock.now >= v100.busy_until
+
+    def test_events_recorded_in_order(self, queue):
+        queue.parallel_for(64, _kernel("a"))
+        queue.parallel_for(64, _kernel("b"))
+        assert [e.record.kernel_name for e in queue.events] == ["a", "b"]
+
+    def test_host_function_computes(self, queue):
+        x = Buffer(np.arange(8, dtype=np.float32), name="x")
+        y = Buffer(shape=8, name="y")
+
+        def saxpy(views):
+            views["y"][:] = 2.0 * views["x"]
+
+        queue.submit(
+            lambda h: (Accessor(x, h, read_only), Accessor(y, h, write_only),
+                       h.parallel_for(8, _kernel(host_fn=saxpy)))[-1]
+        )
+        assert (y.data == 2.0 * x.data).all()

@@ -1,0 +1,102 @@
+"""Host-device transfers: queue.memcpy / fill / update_host."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError, ValidationError
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+from repro.sycl import Buffer, Queue
+
+
+@pytest.fixture
+def queue(v100) -> Queue:
+    return Queue(v100)
+
+
+def test_memcpy_copies_data(queue):
+    buf = Buffer(shape=64, dtype=np.float32)
+    src = np.arange(64, dtype=np.float32)
+    event = queue.memcpy(buf, src)
+    event.wait()
+    assert (buf.data == src).all()
+
+
+def test_memcpy_from_buffer(queue):
+    a = Buffer(np.full(16, 3.0, dtype=np.float32))
+    b = Buffer(shape=16, dtype=np.float32)
+    queue.memcpy(b, a)
+    assert (b.data == 3.0).all()
+
+
+def test_memcpy_shape_mismatch(queue):
+    buf = Buffer(shape=8)
+    with pytest.raises(ValidationError):
+        queue.memcpy(buf, np.zeros(9))
+
+
+def test_fill(queue):
+    buf = Buffer(shape=(4, 4))
+    queue.fill(buf, 7.5)
+    assert (buf.data == 7.5).all()
+
+
+def test_transfer_takes_pcie_time(queue, v100):
+    big = Buffer(shape=1 << 24, dtype=np.float32)  # 64 MiB
+    event = queue.memcpy(big, np.zeros(1 << 24, dtype=np.float32))
+    expected = big.data.nbytes / (v100.spec.pcie_bandwidth_gbs * 1e9)
+    assert event.duration_s == pytest.approx(expected, rel=0.01)
+
+
+def test_transfer_consumes_energy(queue, v100):
+    t0 = v100.clock.now
+    queue.memcpy(Buffer(shape=1 << 24), np.zeros(1 << 24, dtype=np.float32))
+    energy = v100.energy_between(t0, v100.clock.now)
+    assert energy > 0
+
+
+def test_transfer_serializes_with_kernels(queue):
+    kernel = KernelIR(
+        "k", InstructionMix(float_add=8, gl_access=2), work_items=1 << 22
+    )
+    e1 = queue.parallel_for(1 << 22, kernel)
+    buf = Buffer(shape=1 << 20)
+    e2 = queue.memcpy(buf, np.zeros(1 << 20, dtype=np.float32))
+    assert e2.start_s >= e1.end_s
+
+
+def test_transfer_orders_against_buffer_readers(queue):
+    from repro.sycl import Accessor, read_only
+
+    buf = Buffer(np.zeros(1 << 22, dtype=np.float32), name="b")
+    kernel = KernelIR(
+        "reader", InstructionMix(float_add=2, gl_access=2), work_items=1 << 22
+    )
+    e_read = queue.submit(
+        lambda h: (Accessor(buf, h, read_only),
+                   h.parallel_for(1 << 22, kernel))[-1]
+    )
+    e_write = queue.memcpy(buf, np.ones(1 << 22, dtype=np.float32))
+    assert e_write.start_s >= e_read.end_s  # WAR hazard respected
+
+
+def test_update_host_is_timed_noop(queue):
+    buf = Buffer(np.arange(4, dtype=np.float32))
+    event = queue.update_host(buf)
+    assert event.duration_s > 0
+    assert (buf.data == np.arange(4)).all()
+
+
+def test_negative_transfer_rejected(v100):
+    with pytest.raises(SimulationError):
+        v100.transfer(-1.0)
+
+
+def test_transfer_power_below_kernel_power(queue, v100):
+    kernel = KernelIR(
+        "hot", InstructionMix(float_add=64, float_mul=64, gl_access=2),
+        work_items=1 << 22,
+    )
+    k_event = queue.parallel_for(1 << 22, kernel)
+    t_event = queue.memcpy(Buffer(shape=1 << 22), np.zeros(1 << 22, dtype=np.float32))
+    assert t_event.record.avg_power_w < k_event.record.avg_power_w

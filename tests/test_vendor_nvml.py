@@ -1,0 +1,171 @@
+"""Simulated NVML semantics."""
+
+import pytest
+
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import AMD_MI100, NVIDIA_V100
+from repro.common.errors import ConfigurationError
+from repro.vendor.errors import (
+    NVML_ERROR_INVALID_ARGUMENT,
+    NVML_ERROR_NO_PERMISSION,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_UNINITIALIZED,
+    NVMLError,
+)
+from repro.vendor.nvml import (
+    NVML_CLOCK_GRAPHICS,
+    NVML_CLOCK_MEM,
+    NVML_FEATURE_DISABLED,
+    NVML_FEATURE_ENABLED,
+    NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS,
+    NVMLLibrary,
+)
+
+
+@pytest.fixture
+def lib(v100) -> NVMLLibrary:
+    lib = NVMLLibrary([v100])
+    lib.nvmlInit()
+    return lib
+
+
+def test_requires_init(v100):
+    lib = NVMLLibrary([v100])
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlDeviceGetCount()
+    assert exc.value.code == NVML_ERROR_UNINITIALIZED
+
+
+def test_shutdown_invalidates(lib):
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    lib.nvmlShutdown()
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlDeviceGetName(handle)
+    assert exc.value.code == NVML_ERROR_UNINITIALIZED
+
+
+def test_unavailable_library_fails_init(v100):
+    lib = NVMLLibrary([v100], available=False)
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlInit()
+    assert exc.value.code == NVML_ERROR_NOT_SUPPORTED
+
+
+def test_rejects_amd_devices():
+    with pytest.raises(ConfigurationError):
+        NVMLLibrary([SimulatedGPU(AMD_MI100)])
+
+
+def test_device_count_and_name(lib):
+    assert lib.nvmlDeviceGetCount() == 1
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    assert lib.nvmlDeviceGetName(handle) == "NVIDIA V100"
+
+
+def test_bad_index(lib):
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlDeviceGetHandleByIndex(3)
+    assert exc.value.code == NVML_ERROR_INVALID_ARGUMENT
+
+
+def test_foreign_handle_rejected(lib, v100):
+    other = NVMLLibrary([v100])
+    other.nvmlInit()
+    handle = other.nvmlDeviceGetHandleByIndex(0)
+    lib_handle = lib.nvmlDeviceGetHandleByIndex(0)
+    assert lib.nvmlDeviceGetName(lib_handle)
+    with pytest.raises(NVMLError):
+        lib.nvmlDeviceGetName(handle)
+
+
+def test_supported_clocks_descending(lib):
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    mems = lib.nvmlDeviceGetSupportedMemoryClocks(handle)
+    assert mems == [877]
+    cores = lib.nvmlDeviceGetSupportedGraphicsClocks(handle, 877)
+    assert cores[0] == 1530 and cores[-1] == 135
+    assert cores == sorted(cores, reverse=True)
+
+
+def test_application_clock_roundtrip(lib, v100):
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    target = NVIDIA_V100.core_freqs_mhz[20]
+    lib.nvmlDeviceSetApplicationsClocks(handle, 877, target)
+    assert lib.nvmlDeviceGetApplicationsClock(handle, NVML_CLOCK_GRAPHICS) == target
+    assert lib.nvmlDeviceGetApplicationsClock(handle, NVML_CLOCK_MEM) == 877
+
+
+def test_set_clocks_invalid_argument(lib):
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlDeviceSetApplicationsClocks(handle, 877, 1000)
+    assert exc.value.code == NVML_ERROR_INVALID_ARGUMENT
+
+
+def test_restricted_clock_change_denied(lib, v100):
+    v100.set_api_restriction(True)
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlDeviceSetApplicationsClocks(
+            handle, 877, NVIDIA_V100.core_freqs_mhz[0]
+        )
+    assert exc.value.code == NVML_ERROR_NO_PERMISSION
+
+
+def test_root_can_change_restricted_clocks(lib, v100):
+    v100.set_api_restriction(True)
+    lib.effective_root = True
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    lib.nvmlDeviceSetApplicationsClocks(handle, 877, NVIDIA_V100.core_freqs_mhz[0])
+    assert v100.core_mhz == NVIDIA_V100.core_freqs_mhz[0]
+
+
+def test_set_api_restriction_requires_root(lib, v100):
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    with pytest.raises(NVMLError) as exc:
+        lib.nvmlDeviceSetAPIRestriction(
+            handle, NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS, NVML_FEATURE_DISABLED
+        )
+    assert exc.value.code == NVML_ERROR_NO_PERMISSION
+
+
+def test_api_restriction_lowering_flow(lib, v100):
+    """The plugin's privilege dance: root lowers, user sets, root restores."""
+    v100.set_api_restriction(True)
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    lib.effective_root = True
+    lib.nvmlDeviceSetAPIRestriction(
+        handle, NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS, NVML_FEATURE_DISABLED
+    )
+    lib.effective_root = False
+    target = NVIDIA_V100.core_freqs_mhz[10]
+    lib.nvmlDeviceSetApplicationsClocks(handle, 877, target)
+    assert v100.core_mhz == target
+    assert (
+        lib.nvmlDeviceGetAPIRestriction(
+            handle, NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS
+        )
+        == NVML_FEATURE_DISABLED
+    )
+
+
+def test_reset_application_clocks(lib, v100):
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    lib.nvmlDeviceSetApplicationsClocks(handle, 877, NVIDIA_V100.core_freqs_mhz[0])
+    lib.nvmlDeviceResetApplicationsClocks(handle)
+    assert v100.core_mhz == NVIDIA_V100.default_core_mhz
+
+
+def test_power_usage_milliwatts(lib, v100, compute_kernel):
+    v100.execute(compute_kernel.with_work_items(1 << 26))
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    mw = lib.nvmlDeviceGetPowerUsage(handle)
+    assert isinstance(mw, int)
+    assert mw > 10_000  # > 10 W expressed in mW
+
+
+def test_total_energy_millijoules(lib, v100, compute_kernel):
+    record = v100.execute(compute_kernel)
+    handle = lib.nvmlDeviceGetHandleByIndex(0)
+    mj = lib.nvmlDeviceGetTotalEnergyConsumption(handle)
+    assert mj >= int(record.energy_j * 1000 * 0.9)

@@ -1,0 +1,108 @@
+"""Simulated ROCm SMI semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import AMD_MI100, NVIDIA_V100
+from repro.vendor.errors import (
+    RSMI_STATUS_INVALID_ARGS,
+    RSMI_STATUS_NOT_SUPPORTED,
+    RSMI_STATUS_PERMISSION,
+    RSMI_STATUS_UNINITIALIZED,
+    RocmSMIError,
+)
+from repro.vendor.rocm_smi import (
+    RSMI_CLK_TYPE_MEM,
+    RSMI_CLK_TYPE_SYS,
+    RSMI_DEV_PERF_LEVEL_AUTO,
+    RSMI_DEV_PERF_LEVEL_MANUAL,
+    ROCmSMILibrary,
+)
+
+
+@pytest.fixture
+def lib(mi100) -> ROCmSMILibrary:
+    lib = ROCmSMILibrary([mi100])
+    lib.rsmi_init()
+    return lib
+
+
+def test_requires_init(mi100):
+    lib = ROCmSMILibrary([mi100])
+    with pytest.raises(RocmSMIError) as exc:
+        lib.rsmi_num_monitor_devices()
+    assert exc.value.code == RSMI_STATUS_UNINITIALIZED
+
+
+def test_rejects_nvidia_devices():
+    with pytest.raises(ConfigurationError):
+        ROCmSMILibrary([SimulatedGPU(NVIDIA_V100)])
+
+
+def test_device_count_and_name(lib):
+    assert lib.rsmi_num_monitor_devices() == 1
+    assert lib.rsmi_dev_name_get(0) == "AMD MI100"
+
+
+def test_bad_index(lib):
+    with pytest.raises(RocmSMIError) as exc:
+        lib.rsmi_dev_name_get(5)
+    assert exc.value.code == RSMI_STATUS_INVALID_ARGS
+
+
+def test_clk_freq_get_structure(lib):
+    info = lib.rsmi_dev_gpu_clk_freq_get(0, RSMI_CLK_TYPE_SYS)
+    assert info["num_supported"] == 16
+    assert len(info["frequency"]) == 16
+    # Frequencies reported in Hz, ascending.
+    assert info["frequency"][0] == 300_000_000
+    assert info["frequency"][-1] == 1_502_000_000
+    # AUTO mode runs at the top level.
+    assert info["current"] == 15
+
+
+def test_mem_clk_freq_get(lib):
+    info = lib.rsmi_dev_gpu_clk_freq_get(0, RSMI_CLK_TYPE_MEM)
+    assert info["frequency"] == [1_200_000_000]
+
+
+def test_clock_mask_requires_manual(lib):
+    with pytest.raises(RocmSMIError) as exc:
+        lib.rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0b1)
+    assert exc.value.code == RSMI_STATUS_NOT_SUPPORTED
+
+
+def test_clock_mask_selects_highest_allowed(lib, mi100):
+    lib.rsmi_dev_perf_level_set(0, RSMI_DEV_PERF_LEVEL_MANUAL)
+    lib.rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0b0111)  # levels 0-2
+    assert mi100.core_mhz == AMD_MI100.core_freqs_mhz[2]
+
+
+def test_empty_mask_rejected(lib):
+    lib.rsmi_dev_perf_level_set(0, RSMI_DEV_PERF_LEVEL_MANUAL)
+    with pytest.raises(RocmSMIError) as exc:
+        lib.rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0)
+    assert exc.value.code == RSMI_STATUS_INVALID_ARGS
+
+
+def test_auto_restores_default(lib, mi100):
+    lib.rsmi_dev_perf_level_set(0, RSMI_DEV_PERF_LEVEL_MANUAL)
+    lib.rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0b1)
+    assert mi100.core_mhz == AMD_MI100.core_freqs_mhz[0]
+    lib.rsmi_dev_perf_level_set(0, RSMI_DEV_PERF_LEVEL_AUTO)
+    assert mi100.core_mhz == AMD_MI100.default_core_mhz
+
+
+def test_perf_level_permission_on_restricted_device(lib, mi100):
+    mi100.set_api_restriction(True)
+    with pytest.raises(RocmSMIError) as exc:
+        lib.rsmi_dev_perf_level_set(0, RSMI_DEV_PERF_LEVEL_MANUAL)
+    assert exc.value.code == RSMI_STATUS_PERMISSION
+
+
+def test_power_in_microwatts(lib, mi100, compute_kernel):
+    mi100.execute(compute_kernel)
+    uw = lib.rsmi_dev_power_ave_get(0)
+    assert isinstance(uw, int)
+    assert uw > 10_000_000  # > 10 W in µW
