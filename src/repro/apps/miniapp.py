@@ -32,6 +32,12 @@ class AppReport:
     gpu_energy_j: float
     comm_time_max_s: float
     kernel_launches: int
+    #: Clock-set retries across all ranks (transient NVML failures absorbed).
+    clock_retries: int = 0
+    #: Kernels whose requested clocks degraded to driver defaults.
+    degraded_kernels: int = 0
+    #: Energy measurements served from the analytic fallback (sensor loss).
+    energy_fallbacks: int = 0
 
 
 class MpiMiniApp:
@@ -107,4 +113,9 @@ class MpiMiniApp:
             gpu_energy_j=comm.total_gpu_energy(start, [end] * comm.size),
             comm_time_max_s=float(comm.comm_time_s.max()) - comm_before,
             kernel_launches=launches,
+            clock_retries=sum(q.scaler.retry_count for q in queues),
+            degraded_kernels=sum(
+                int(q.summary()["degraded_kernels"]) for q in queues
+            ),
+            energy_fallbacks=sum(q.profiler.fallback_count for q in queues),
         )

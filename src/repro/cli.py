@@ -10,7 +10,8 @@ exposes the deployment and analysis workflows:
 - ``compile`` — per-kernel frequency plan for a set of benchmarks,
 - ``accuracy`` — the Table 2 error analysis,
 - ``scaling`` — the Fig. 10 weak-scaling experiment,
-- ``fine-vs-coarse`` — the §2.2 tuning-granularity comparison.
+- ``fine-vs-coarse`` — the §2.2 tuning-granularity comparison,
+- ``faults`` — the chaos sweep: energy-target quality vs injected faults.
 """
 
 from __future__ import annotations
@@ -28,9 +29,11 @@ from repro.experiments.characterization import characterize, fine_vs_coarse
 from repro.experiments.export import (
     accuracy_to_dict,
     characterization_to_dict,
+    chaos_to_dict,
     scaling_to_dict,
     write_json,
 )
+from repro.experiments.faults import DEFAULT_RATES, run_fault_sweep
 from repro.experiments.report import format_table
 from repro.experiments.scaling import run_scaling_experiment
 from repro.experiments.sweep import sweep_kernel
@@ -243,6 +246,61 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultSpec
+
+    factory = {
+        "cloverleaf": lambda: CloverLeaf(steps=args.steps),
+        "miniweather": lambda: MiniWeather(steps=args.steps),
+    }[args.app]
+    extra: tuple[FaultSpec, ...] = ()
+    spare = 0
+    if args.node_fail_at is not None:
+        extra = (FaultSpec(site="slurm.node_fail", at_s=args.node_fail_at),)
+        spare = 1  # keep a healthy node for the requeue
+    bundle = load_bundle(args.bundle) if args.bundle else None
+    if bundle is None:
+        print("no --bundle given; training default models ...", file=sys.stderr)
+    target = None if args.target == "default" else EnergyTarget.parse(args.target)
+    result = run_fault_sweep(
+        factory,
+        rates=tuple(args.rates),
+        seed=args.seed,
+        n_nodes=args.nodes,
+        spare_nodes=spare,
+        target=target,
+        bundle=bundle,
+        extra_specs=extra,
+    )
+    if args.json:
+        write_json(chaos_to_dict(result), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    rows = [
+        [
+            f"{p.fault_rate:g}",
+            p.state,
+            p.requeues,
+            f"{p.elapsed_s:.4f}",
+            f"{p.gpu_energy_j:.1f}",
+            p.clock_retries,
+            f"{p.degraded_fraction:.1%}",
+            p.faults_injected,
+            p.recoveries,
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["rate", "state", "requeues", "time (s)", "GPU energy (J)",
+             "retries", "degraded", "faults", "recoveries"],
+            rows,
+            title=f"{args.app} chaos sweep (target {result.target_name}, "
+            f"seed {result.seed})",
+        )
+    )
+    return 0
+
+
 def _cmd_fine_vs_coarse(args: argparse.Namespace) -> int:
     spec = get_spec(args.device)
     kernels = [
@@ -329,6 +387,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bundle", default=None, help="trained bundle JSON path")
     p.add_argument("--json", default=None, help="export results to a JSON file")
     p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("faults", help="chaos sweep: resilience vs fault rate")
+    p.add_argument("--app", default="cloverleaf",
+                   choices=("cloverleaf", "miniweather"))
+    p.add_argument("--rates", nargs="+", type=float, default=list(DEFAULT_RATES),
+                   help="transient NVML clock-set failure rates to sweep")
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument("--nodes", type=int, default=2, help="nodes per job")
+    p.add_argument("--steps", type=int, default=4)
+    p.add_argument("--target", default="MIN_EDP",
+                   help="energy target ('default' disables per-kernel tuning)")
+    p.add_argument("--node-fail-at", type=float, default=None,
+                   help="also schedule a node failure at this virtual time "
+                   "(a spare node is provisioned for the requeue)")
+    p.add_argument("--bundle", default=None, help="trained bundle JSON path")
+    p.add_argument("--json", default=None, help="export results to a JSON file")
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("fine-vs-coarse", help="tuning-granularity comparison")
     p.add_argument("--device", default="v100", choices=known_devices())

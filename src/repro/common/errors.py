@@ -27,3 +27,22 @@ class SimulationError(ReproError):
     Examples: waiting on an event that can never complete, observing the
     clock move backwards.
     """
+
+
+class TransientError(ReproError):
+    """A retryable failure: the operation may succeed if attempted again.
+
+    Layers tag their retryable failure modes with this class (a transient
+    NVML clock-set error, a dropped sensor sample) so that retry loops can
+    distinguish them from fatal errors with one ``isinstance`` check,
+    without knowing which vendor library raised.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """An infrastructure fault delivered by the fault-injection plane.
+
+    Examples: a node failing mid-job, an MPI rank dying, a prologue that
+    crashes. These are *persistent* faults — retrying the failed operation
+    cannot succeed; recovery means rescheduling or degrading.
+    """

@@ -5,11 +5,18 @@ switch overhead "becomes significant as the number of submitted kernels
 grows". :class:`FrequencyScaler` charges a configurable virtual-time cost per
 *effective* clock change and skips redundant changes (the clocks already
 match), which is also what the real SYnergy runtime does before each kernel.
+
+Resilience: on production clusters clock-set calls fail transiently (driver
+hiccups surface as ``NVML_ERROR_UNKNOWN`` / ``NVML_ERROR_TIMEOUT``). The
+scaler retries those with capped exponential backoff in *virtual* time and,
+once the retry budget is exhausted, degrades gracefully: it restores
+driver-default clocks (best-effort) and reports the failure so per-kernel
+energy targets can be flagged as best-effort rather than silently wrong.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import ValidationError
+from repro.common.errors import TransientError, ValidationError
 from repro.hw.device import SimulatedGPU
 from repro.vendor.portable import PowerManagementBackend, create_backend
 
@@ -18,6 +25,12 @@ from repro.vendor.portable import PowerManagementBackend, create_backend
 #: latencies on data-center boards; the ablation bench sweeps it to show
 #: the §4.4 regime where switching dominates small kernels.
 DEFAULT_SWITCH_OVERHEAD_S: float = 1.0e-3
+
+#: Retry policy for transient clock-set failures: attempts beyond the first,
+#: initial backoff, and the backoff ceiling (all virtual-time seconds).
+DEFAULT_MAX_RETRIES: int = 4
+DEFAULT_BACKOFF_BASE_S: float = 1.0e-3
+DEFAULT_BACKOFF_CAP_S: float = 16.0e-3
 
 
 class FrequencyScaler:
@@ -28,18 +41,41 @@ class FrequencyScaler:
         device: SimulatedGPU,
         backend: PowerManagementBackend | None = None,
         switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
     ) -> None:
         if switch_overhead_s < 0:
             raise ValidationError(
                 f"switch overhead cannot be negative ({switch_overhead_s!r})"
             )
+        if max_retries < 0:
+            raise ValidationError(f"max_retries cannot be negative ({max_retries!r})")
+        if backoff_base_s < 0 or backoff_cap_s < backoff_base_s:
+            raise ValidationError(
+                f"backoff range invalid: base={backoff_base_s!r}, "
+                f"cap={backoff_cap_s!r}"
+            )
         self.device = device
         self.backend = backend if backend is not None else create_backend(device)
         self.switch_overhead_s = float(switch_overhead_s)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
         #: Number of clock changes actually applied (not skipped).
         self.switch_count: int = 0
         #: Total virtual time spent switching clocks.
         self.total_overhead_s: float = 0.0
+        #: Transient clock-set failures that were retried.
+        self.retry_count: int = 0
+        #: Virtual time spent backing off between retries.
+        self.retry_backoff_s: float = 0.0
+        #: Clock-set requests abandoned after retry exhaustion.
+        self.failed_switches: int = 0
+        #: Whether any request ever degraded to driver defaults.
+        self.degraded: bool = False
+        #: Whether the *most recent* set_frequency call degraded.
+        self.last_degraded: bool = False
 
     def set_frequency(self, mem_mhz: int, core_mhz: int) -> bool:
         """Apply a clock pair; returns True if a change was actually made.
@@ -48,16 +84,67 @@ class FrequencyScaler:
         overhead. Effective changes advance the device clock by the switch
         overhead before the change lands, so subsequent kernels start late —
         exactly the §4.4 cost model.
+
+        Transient vendor failures are retried up to ``max_retries`` times
+        with capped exponential backoff in virtual time. On exhaustion the
+        request is abandoned: the scaler attempts a best-effort reset to
+        driver-default clocks, flags itself degraded, and returns False.
+        Non-transient errors (permission, invalid clocks, lost GPU)
+        propagate unchanged.
         """
+        self.last_degraded = False
         current_core, current_mem = self.backend.current_clocks()
         if (current_core, current_mem) == (core_mhz, mem_mhz):
             return False
-        if self.switch_overhead_s > 0.0:
-            self.device.clock.advance(self.switch_overhead_s)
-        self.backend.set_clocks(mem_mhz, core_mhz)
-        self.switch_count += 1
-        self.total_overhead_s += self.switch_overhead_s
-        return True
+        backoff = self.backoff_base_s
+        for attempt in range(self.max_retries + 1):
+            if self.switch_overhead_s > 0.0:
+                # The NVML call costs its latency whether or not it succeeds.
+                self.device.clock.advance(self.switch_overhead_s)
+                self.total_overhead_s += self.switch_overhead_s
+            try:
+                self.backend.set_clocks(mem_mhz, core_mhz)
+            except TransientError as exc:
+                self.retry_count += 1
+                if attempt == self.max_retries:
+                    self._degrade(mem_mhz, core_mhz, exc)
+                    return False
+                if backoff > 0.0:
+                    self.device.clock.advance(backoff)
+                    self.retry_backoff_s += backoff
+                backoff = min(2.0 * backoff, self.backoff_cap_s)
+                continue
+            self.switch_count += 1
+            if attempt:
+                self._log_recovery(
+                    f"clock-set {mem_mhz}/{core_mhz} MHz succeeded after "
+                    f"{attempt} retr{'y' if attempt == 1 else 'ies'}"
+                )
+            return True
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _degrade(self, mem_mhz: int, core_mhz: int, exc: TransientError) -> None:
+        """Retry budget exhausted: fall back to driver-default clocks."""
+        self.failed_switches += 1
+        self.degraded = True
+        self.last_degraded = True
+        try:
+            self.backend.reset_clocks()
+        except TransientError:
+            # Even the reset failed; the board keeps its current clocks.
+            # The epilogue remains the backstop for restoring defaults.
+            pass
+        self._log_recovery(
+            f"clock-set {mem_mhz}/{core_mhz} MHz abandoned after "
+            f"{self.max_retries} retries ({exc}); degraded to driver defaults"
+        )
+
+    def _log_recovery(self, detail: str) -> None:
+        injector = self.device.fault_injector
+        if injector is not None:
+            injector.log.record_recovery(
+                self.device.clock.now, "nvml.set_clocks", self.device.index, detail
+            )
 
     def reset(self) -> None:
         """Restore driver-default clocks (counts as one switch if effective)."""

@@ -9,11 +9,17 @@ Two granularities, both built on the sampled power sensor:
   profiling mode the per-kernel tuning relies on. Accuracy degrades for
   kernels shorter than a few sensor sampling periods (§4.4), which the
   simulation reproduces.
+
+Resilience: a real power sensor drops samples. When a measurement window
+contains no usable samples the profiler falls back to the analytic model
+estimate (the same physics the predictor is trained on) and flags the
+result as *degraded* — measurements keep flowing, but reports can tell
+sensor-backed numbers from model-backed ones.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import ValidationError
+from repro.common.errors import TransientError, ValidationError
 from repro.hw.device import SimulatedGPU
 from repro.hw.sensor import PowerSensor
 from repro.sycl.event import Event
@@ -27,6 +33,10 @@ class EnergyProfiler:
         self.sensor = sensor if sensor is not None else PowerSensor(device)
         #: Start of the coarse-grained window (queue construction time).
         self.window_start_s = device.clock.now
+        #: Measurements served from the analytic fallback (sensor dropout).
+        self.fallback_count: int = 0
+        #: Whether any measurement so far was degraded.
+        self.degraded: bool = False
 
     def kernel_energy(self, event: Event, *, true_value: bool = False) -> float:
         """Energy (J) attributed to one kernel event.
@@ -40,7 +50,7 @@ class EnergyProfiler:
         event.wait()
         if true_value:
             return self.device.energy_between(event.start_s, event.end_s)
-        return self.sensor.measure_energy(event.start_s, event.end_s)
+        return self._measure(event.start_s, event.end_s)
 
     def device_energy(self, *, true_value: bool = False) -> float:
         """Energy (J) of the whole device since the profiling window opened."""
@@ -49,7 +59,25 @@ class EnergyProfiler:
             return self.device.energy_between(self.window_start_s, now)
         if now <= self.window_start_s:
             return 0.0
-        return self.sensor.measure_energy(self.window_start_s, now)
+        return self._measure(self.window_start_s, now)
+
+    def _measure(self, t0: float, t1: float) -> float:
+        """Sensor estimate with analytic fallback on sample dropout."""
+        try:
+            return self.sensor.measure_energy(t0, t1)
+        except TransientError as exc:
+            self.fallback_count += 1
+            self.degraded = True
+            injector = self.device.fault_injector
+            if injector is not None:
+                injector.log.record_recovery(
+                    t1,
+                    "hw.sensor_dropout",
+                    self.device.index,
+                    f"sensor window [{t0:.6f}, {t1:.6f}]s unusable ({exc}); "
+                    "served analytic estimate (degraded)",
+                )
+            return self.device.energy_between(t0, t1)
 
     def reset_window(self) -> None:
         """Restart the coarse-grained window at the current virtual time."""

@@ -74,6 +74,10 @@ class SynergyQueue(Queue):
             self.device.gpu.spec.validate_clocks(*queue_clocks)
         # Pending clock request consumed by _pre_kernel for one submission.
         self._pending: tuple[int, int] | EnergyTarget | None = None
+        # Events whose requested clocks could not be applied (retry
+        # exhaustion): their energy targets were best-effort only.
+        self._degraded_events: set[Event] = set()
+        self._pending_degraded = False
 
     # ------------------------------------------------------------ submission
 
@@ -95,6 +99,9 @@ class SynergyQueue(Queue):
             and isinstance(args[1], int)
         ):
             mem_mhz, core_mhz, cgf = args
+            # Validate at submit time, like the constructor does — an
+            # invalid pair must not surface later inside _pre_kernel.
+            self.device.gpu.spec.validate_clocks(mem_mhz, core_mhz)
             self._pending = (mem_mhz, core_mhz)
         else:
             raise ValidationError(
@@ -109,6 +116,7 @@ class SynergyQueue(Queue):
 
     def _pre_kernel(self, kernel: KernelIR) -> None:
         """Apply the frequency configuration just before the kernel starts."""
+        self._pending_degraded = False
         request = self._pending
         if isinstance(request, EnergyTarget):
             mem, core = self._resolve_target(kernel, request)
@@ -119,6 +127,13 @@ class SynergyQueue(Queue):
         else:
             return
         self.scaler.set_frequency(mem, core)
+        self._pending_degraded = self.scaler.last_degraded
+
+    def _post_kernel(self, kernel: KernelIR, event: Event) -> None:
+        """Tag the event when its clock request degraded to best-effort."""
+        if self._pending_degraded:
+            self._degraded_events.add(event)
+            self._pending_degraded = False
 
     def _resolve_target(
         self, kernel: KernelIR, target: EnergyTarget
@@ -151,7 +166,10 @@ class SynergyQueue(Queue):
         """Per-kernel execution statistics, in submission order.
 
         One row per event: kernel name, applied clocks, wall time and true
-        energy — the raw material of a per-kernel tuning report.
+        energy — the raw material of a per-kernel tuning report. The
+        ``degraded`` flag marks kernels whose requested clocks could not be
+        applied (clock-set retry exhaustion): their energy target was
+        best-effort only.
         """
         rows: list[dict[str, float | str]] = []
         for event in self.events:
@@ -166,6 +184,7 @@ class SynergyQueue(Queue):
                     "time_s": record.time_s,
                     "energy_j": record.energy_j,
                     "avg_power_w": record.avg_power_w,
+                    "degraded": event in self._degraded_events,
                 }
             )
         return rows
@@ -179,6 +198,8 @@ class SynergyQueue(Queue):
             "kernel_energy_j": float(sum(r["energy_j"] for r in stats)),
             "clock_switches": float(self.scaler.switch_count),
             "switch_overhead_s": self.scaler.total_overhead_s,
+            "clock_retries": float(self.scaler.retry_count),
+            "degraded_kernels": float(sum(bool(r["degraded"]) for r in stats)),
         }
 
     def set_frequency(self, mem_mhz: int, core_mhz: int) -> None:

@@ -14,8 +14,10 @@ import numpy as np
 
 from repro.experiments.accuracy import AccuracyAnalysis
 from repro.experiments.characterization import CharacterizationResult
+from repro.experiments.faults import ChaosResult
 from repro.experiments.scaling import ScalingResult
 from repro.experiments.sweep import FrequencySweep
+from repro.faults import FaultLog
 
 
 def sweep_to_dict(sweep: FrequencySweep) -> dict:
@@ -94,6 +96,23 @@ def accuracy_to_dict(analysis: AccuracyAnalysis) -> dict:
             for row in analysis.table2()
         ],
     }
+
+
+def chaos_to_dict(result: ChaosResult) -> dict:
+    """All points of a chaos sweep (resilience vs fault rate)."""
+    return {
+        "kind": "chaos_sweep",
+        "app": result.app_name,
+        "device": result.device_name,
+        "target": result.target_name,
+        "seed": result.seed,
+        "points": result.rows(),
+    }
+
+
+def fault_log_to_dicts(log: FaultLog) -> list[dict]:
+    """A fault log as plain dicts (byte-stable for determinism checks)."""
+    return log.to_dicts()
 
 
 def write_json(payload: dict, path: str | Path) -> Path:

@@ -1,0 +1,203 @@
+"""Chaos sweep: energy-target quality under injected faults.
+
+The resilience ablation the robustness work is for: run one mini-app at a
+fixed energy target while sweeping the transient NVML clock-set failure
+rate (optionally stacking further faults — a scheduled node failure, sensor
+dropouts, a degraded link). Each rate gets a fresh cluster armed with a
+seeded :class:`~repro.faults.plan.FaultPlan`; the point records how the
+per-kernel tuning machinery held up:
+
+- did the job complete (requeues after node failures included),
+- time and GPU energy actually spent,
+- how many clock-sets needed retries and how many kernels degraded to
+  driver-default clocks (their target was best-effort only),
+- full fault-log accounting (faults injected vs recoveries taken).
+
+Everything derives from the plan seed, so a sweep is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.apps.miniapp import AppReport, MpiMiniApp
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.core.compiler import SynergyCompiler
+from repro.core.models import EnergyModelBundle
+from repro.experiments.training import microbench_training_set
+from repro.faults import FaultSpec, transient_nvml_plan
+from repro.hw.specs import GPUSpec, NVIDIA_V100
+from repro.metrics.targets import EnergyTarget, MIN_EDP
+from repro.mpi.launcher import launch_ranks
+from repro.mpi.network import NetworkModel
+from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
+from repro.slurm.job import JobContext, JobSpec
+from repro.slurm.plugin import NvGpuFreqPlugin
+from repro.slurm.scheduler import Scheduler
+
+#: Default fault-rate grid of the sweep (0 is the control point).
+DEFAULT_RATES: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One sweep point: an (app, fault rate) configuration's outcome."""
+
+    fault_rate: float
+    state: str
+    requeues: int
+    elapsed_s: float
+    gpu_energy_j: float
+    kernel_launches: int
+    clock_retries: int
+    degraded_kernels: int
+    energy_fallbacks: int
+    faults_injected: int
+    recoveries: int
+    fault_counts: dict[str, int]
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of kernel launches whose clock request was best-effort."""
+        if not self.kernel_launches:
+            return 0.0
+        return self.degraded_kernels / self.kernel_launches
+
+
+@dataclass
+class ChaosResult:
+    """All points of one chaos sweep."""
+
+    app_name: str
+    device_name: str
+    target_name: str
+    seed: int
+    points: list[ChaosPoint] = field(default_factory=list)
+
+    def point(self, fault_rate: float) -> ChaosPoint:
+        """Look one fault rate up."""
+        for p in self.points:
+            if p.fault_rate == fault_rate:
+                return p
+        raise ConfigurationError(f"no point for fault rate {fault_rate!r}")
+
+    def energy_overhead(self, fault_rate: float) -> float:
+        """Fractional GPU-energy cost of a fault rate vs the 0-rate control."""
+        base = self.point(0.0)
+        return self.point(fault_rate).gpu_energy_j / base.gpu_energy_j - 1.0
+
+    def rows(self) -> list[dict[str, object]]:
+        """Plain-dict rows (stable order) for tables and JSON export."""
+        return [
+            {
+                "fault_rate": p.fault_rate,
+                "state": p.state,
+                "requeues": p.requeues,
+                "elapsed_s": p.elapsed_s,
+                "gpu_energy_j": p.gpu_energy_j,
+                "kernel_launches": p.kernel_launches,
+                "clock_retries": p.clock_retries,
+                "degraded_kernels": p.degraded_kernels,
+                "degraded_fraction": p.degraded_fraction,
+                "energy_fallbacks": p.energy_fallbacks,
+                "faults_injected": p.faults_injected,
+                "recoveries": p.recoveries,
+                "fault_counts": dict(sorted(p.fault_counts.items())),
+            }
+            for p in self.points
+        ]
+
+
+def run_fault_sweep(
+    app_factory: Callable[[], MpiMiniApp],
+    rates: Sequence[float] = DEFAULT_RATES,
+    seed: int = 0,
+    n_nodes: int = 2,
+    spare_nodes: int = 0,
+    gpus_per_node: int = 4,
+    target: EnergyTarget | None = MIN_EDP,
+    spec: GPUSpec = NVIDIA_V100,
+    bundle: EnergyModelBundle | None = None,
+    network: NetworkModel | None = None,
+    extra_specs: tuple[FaultSpec, ...] = (),
+) -> ChaosResult:
+    """Sweep the transient clock-set fault rate for one application.
+
+    The job requests ``n_nodes``; the cluster is provisioned with
+    ``n_nodes + spare_nodes`` so a scheduled node failure (passed through
+    ``extra_specs``) leaves enough healthy nodes for the requeue.
+    """
+    if not rates:
+        raise ValidationError("chaos sweep needs at least one fault rate")
+    if spare_nodes < 0:
+        raise ValidationError(f"spare_nodes cannot be negative ({spare_nodes!r})")
+    fitted = bundle
+    if fitted is None and target is not None:
+        fitted = EnergyModelBundle().fit(microbench_training_set(spec))
+
+    template = app_factory()
+    plan = None
+    if target is not None:
+        compiler = SynergyCompiler(fitted, spec)
+        plan = compiler.compile(list(template.timestep_kernels()), (target,)).plan
+
+    result = ChaosResult(
+        app_name=template.name,
+        device_name=spec.name,
+        target_name=target.name if target is not None else "default",
+        seed=seed,
+    )
+    for rate in rates:
+        fault_plan = transient_nvml_plan(rate, seed=seed, extra=extra_specs)
+        cluster = Cluster.build(
+            spec,
+            n_nodes=n_nodes + spare_nodes,
+            gpus_per_node=gpus_per_node,
+            gres={NVGPUFREQ_GRES},
+            fault_plan=fault_plan,
+        )
+        scheduler = Scheduler(cluster, plugins=[NvGpuFreqPlugin()])
+        app = app_factory()
+
+        def payload(
+            context: JobContext, app: MpiMiniApp = app
+        ) -> AppReport:
+            comm = launch_ranks(context, network=network)
+            return app.run(comm, target=target, plan=plan)
+
+        job = scheduler.submit(
+            JobSpec(
+                name=f"{template.name}-chaos-{rate:g}",
+                n_nodes=n_nodes,
+                exclusive=True,
+                gres=frozenset({NVGPUFREQ_GRES}),
+                payload=payload,
+            )
+        )
+        requeues = 0
+        probe = job
+        while probe.requeue_of is not None:
+            requeues += 1
+            probe = scheduler.jobs[probe.requeue_of]
+        report = job.result if isinstance(job.result, AppReport) else None
+        log = cluster.fault_injector.log
+        result.points.append(
+            ChaosPoint(
+                fault_rate=rate,
+                state=job.state.value,
+                requeues=requeues,
+                elapsed_s=report.elapsed_s if report else 0.0,
+                gpu_energy_j=report.gpu_energy_j if report else 0.0,
+                kernel_launches=report.kernel_launches if report else 0,
+                clock_retries=report.clock_retries if report else 0,
+                degraded_kernels=report.degraded_kernels if report else 0,
+                energy_fallbacks=report.energy_fallbacks if report else 0,
+                faults_injected=len(log.faults),
+                recoveries=len(log.recoveries),
+                fault_counts=log.counts(),
+            )
+        )
+        # A point that could not complete is itself a result (the edge of
+        # the resilience envelope), so the sweep continues regardless.
+    return result

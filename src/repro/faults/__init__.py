@@ -1,0 +1,38 @@
+"""Deterministic fault-injection plane (``repro.faults``).
+
+Seeded, virtual-time chaos engineering for the SYnergy stack: declare a
+:class:`FaultPlan` (per-site fault specs — probabilistic or scheduled),
+attach its :class:`FaultInjector` to a cluster, and the vendor/hw/slurm/mpi
+layers inject the declared faults while the runtime's resilience paths
+(clock-set retries, sensor fallback, node drain + requeue, epilogue clock
+restore) recover. Every fault and recovery is recorded in the
+:class:`FaultLog`; identical plans reproduce identical logs.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultLog,
+    FaultRecord,
+    NodeFailure,
+    RankFailure,
+)
+from repro.faults.plan import (
+    FAULT_SITES,
+    WINDOW_SITES,
+    FaultPlan,
+    FaultSpec,
+    transient_nvml_plan,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "WINDOW_SITES",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "NodeFailure",
+    "RankFailure",
+    "transient_nvml_plan",
+]

@@ -1,0 +1,208 @@
+"""The live fault-injection engine and its structured log.
+
+A :class:`FaultInjector` is instantiated once per run from a
+:class:`~repro.faults.plan.FaultPlan` and threaded through the stack
+(``Cluster.build`` attaches it to every node and GPU; standalone tests
+attach it by hand). Components consult it at their injection sites:
+
+- :meth:`FaultInjector.fires` — one-shot faults (probabilistic draws and
+  scheduled events),
+- :meth:`FaultInjector.active` — window faults (thermal throttle, stuck
+  sensor, degraded link),
+- :meth:`FaultInjector.device_lost` / :meth:`mark_device_lost` — the
+  persistent GPU-is-lost state machine.
+
+Every injected fault and every recovery action lands in the
+:class:`FaultLog`, so an experiment report can account for each fault and
+show what the runtime did about it. All randomness comes from per-spec
+seeded streams derived from the plan seed; with a fixed plan and workload,
+logs are byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import FaultInjectionError
+from repro.common.rng import derive_seed, make_rng
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+class NodeFailure(FaultInjectionError):
+    """A compute node died mid-job (the ``slurm.node_fail`` site)."""
+
+    def __init__(self, nodes: tuple[str, ...], t: float) -> None:
+        self.nodes = tuple(nodes)
+        self.t = float(t)
+        super().__init__(
+            f"node failure at t={self.t:.6f}s: {', '.join(self.nodes)}"
+        )
+
+
+class RankFailure(FaultInjectionError):
+    """An MPI rank died mid-job (the ``mpi.rank_fail`` site)."""
+
+    def __init__(self, rank: int, t: float) -> None:
+        self.rank = int(rank)
+        self.t = float(t)
+        super().__init__(f"rank {self.rank} failed at t={self.t:.6f}s")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One log entry: an injected fault or a recovery action."""
+
+    t: float
+    kind: str  # "fault" | "recovery"
+    site: str
+    target: str
+    detail: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for JSON export and byte-comparison."""
+        return {
+            "t": self.t,
+            "kind": self.kind,
+            "site": self.site,
+            "target": self.target,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultLog:
+    """Ordered record of every injected fault and recovery action."""
+
+    entries: list[FaultRecord] = field(default_factory=list)
+
+    def record_fault(
+        self, t: float, site: str, target: object = None, detail: str = ""
+    ) -> None:
+        """Log one injected fault."""
+        self.entries.append(
+            FaultRecord(float(t), "fault", site, _target_str(target), detail)
+        )
+
+    def record_recovery(
+        self, t: float, site: str, target: object = None, detail: str = ""
+    ) -> None:
+        """Log one recovery action taken in response to faults."""
+        self.entries.append(
+            FaultRecord(float(t), "recovery", site, _target_str(target), detail)
+        )
+
+    @property
+    def faults(self) -> tuple[FaultRecord, ...]:
+        """Injected faults only, in injection order."""
+        return tuple(e for e in self.entries if e.kind == "fault")
+
+    @property
+    def recoveries(self) -> tuple[FaultRecord, ...]:
+        """Recovery actions only, in order."""
+        return tuple(e for e in self.entries if e.kind == "recovery")
+
+    def counts(self) -> dict[str, int]:
+        """Injected-fault count per site."""
+        out: dict[str, int] = {}
+        for e in self.faults:
+            out[e.site] = out.get(e.site, 0) + 1
+        return out
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """The whole log as plain dicts (stable, JSON-serializable)."""
+        return [e.as_dict() for e in self.entries]
+
+
+def _target_str(target: object) -> str:
+    return "" if target is None else str(target)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against live site invocations."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.log = FaultLog()
+        # One independent RNG stream per probabilistic spec, derived from
+        # the plan seed + the spec's position: firing decisions for one
+        # site never perturb another site's stream.
+        self._rngs = {
+            i: make_rng(derive_seed(plan.seed, spec.site, i))
+            for i, spec in enumerate(plan.specs)
+            if not spec.scheduled
+        }
+        self._fired = [0] * len(plan.specs)
+        # Window specs currently known to be active (logged once).
+        self._activated: set[int] = set()
+        self._lost_devices: set[int] = set()
+
+    # ------------------------------------------------------------- one-shot
+
+    def fires(
+        self, site: str, now: float, target: object = None, detail: str = ""
+    ) -> FaultSpec | None:
+        """Check a one-shot site invocation; logs and returns the spec hit.
+
+        Scheduled specs fire at the first invocation at/after ``at_s``;
+        probabilistic specs draw from their seeded stream. At most one spec
+        fires per invocation (the first match in plan order).
+        """
+        for i, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(target):
+                continue
+            if spec.count and self._fired[i] >= spec.count:
+                continue
+            if spec.scheduled:
+                if now < spec.at_s:
+                    continue
+            elif not self._rngs[i].random() < spec.probability:
+                continue
+            self._fired[i] += 1
+            self.log.record_fault(now, site, target, detail)
+            return spec
+        return None
+
+    # -------------------------------------------------------------- windows
+
+    def active(
+        self, site: str, now: float, target: object = None
+    ) -> FaultSpec | None:
+        """Check whether a window fault covers ``now`` for ``target``.
+
+        The first invocation inside the window logs the fault; later
+        invocations return the spec silently (the fault is one event, even
+        if it affects many operations).
+        """
+        for i, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(target):
+                continue
+            if not spec.scheduled or spec.duration_s is None:
+                continue
+            if spec.at_s <= now < spec.at_s + spec.duration_s:
+                if i not in self._activated:
+                    self._activated.add(i)
+                    self._fired[i] += 1
+                    self.log.record_fault(
+                        now, site, target,
+                        f"window [{spec.at_s:.6f}, "
+                        f"{spec.at_s + spec.duration_s:.6f}]s",
+                    )
+                return spec
+        return None
+
+    # ------------------------------------------------------ persistent loss
+
+    def mark_device_lost(self, index: int) -> None:
+        """Transition a board to the persistent lost state."""
+        self._lost_devices.add(int(index))
+
+    def device_lost(self, index: int) -> bool:
+        """Whether a board is in the lost state."""
+        return int(index) in self._lost_devices
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def total_faults(self) -> int:
+        """Number of faults injected so far."""
+        return len(self.log.faults)

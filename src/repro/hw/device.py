@@ -95,6 +95,9 @@ class SimulatedGPU:
         self.records: list[KernelExecutionRecord] = []
         #: Count of clock-change API calls (for the §4.4 overhead analysis).
         self.clock_set_calls: int = 0
+        #: Fault-injection plane, attached by ``Cluster.build`` (or tests).
+        #: ``None`` means the happy path: no faults, no injection checks.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------ state
 
@@ -205,7 +208,7 @@ class SimulatedGPU:
         if submit < 0:
             raise SimulationError(f"negative submit time {submit!r}")
         start = max(submit, self._busy_until)
-        core_mhz, timing, power = self._throttled_operating_point(kernel)
+        core_mhz, timing, power = self._throttled_operating_point(kernel, start)
         end = start + timing.time_s
         self._seg_start.append(start)
         self._seg_end.append(end)
@@ -265,15 +268,28 @@ class SimulatedGPU:
         self.records.append(record)
         return record
 
-    def _throttled_operating_point(self, kernel: KernelIR):
+    def _throttled_operating_point(self, kernel: KernelIR, start_s: float | None = None):
         """Clocks/timing/power for a kernel under the board power limit.
 
         At the application clocks the kernel may exceed the power limit; the
         board then throttles: it runs at the highest supported core clock
         (≤ the application clock) whose power fits. The lowest table clock
-        is used if nothing fits.
+        is used if nothing fits. An active injected thermal-throttle window
+        additionally caps the core clock at the window's MHz parameter.
         """
-        candidates = [f for f in self.spec.core_freqs_mhz if f <= self._core_mhz]
+        ceiling = self._core_mhz
+        if self.fault_injector is not None:
+            at = self.clock.now if start_s is None else start_s
+            throttle = self.fault_injector.active(
+                "hw.thermal_throttle", at, target=self.index
+            )
+            if throttle is not None and throttle.param is not None:
+                ceiling = min(ceiling, int(throttle.param))
+        candidates = [f for f in self.spec.core_freqs_mhz if f <= ceiling]
+        if not candidates:
+            # Thermal cap below the table minimum: the board pins its
+            # lowest supported clock.
+            candidates = [self.spec.min_core_mhz]
         for core_mhz in reversed(candidates):
             timing = self.timing_model.execute(kernel, core_mhz, self._mem_mhz)
             power = float(

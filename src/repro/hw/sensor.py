@@ -18,12 +18,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ValidationError
+from repro.common.errors import TransientError, ValidationError
 from repro.common.rng import derive_seed, make_rng
 from repro.hw.device import SimulatedGPU
 
 #: Default sampling interval (s): the ~15 ms hardware limitation from §4.4.
 DEFAULT_SAMPLING_INTERVAL_S: float = 15.0e-3
+
+
+class SensorDropoutError(TransientError):
+    """Raised when every sample in a requested window was dropped.
+
+    Transient: the sensor is expected to come back; callers (the energy
+    profiler) fall back to the analytic estimate for the affected window.
+    """
 
 
 @dataclass(frozen=True)
@@ -69,7 +77,10 @@ class PowerSensor:
         The grid is global (anchored at t=0), not at ``t0``: a real sensor
         free-runs regardless of when the caller starts watching. Each
         reading is lagged by ``lag_fraction`` of an interval (the hardware
-        averaging delay) and carries seeded gaussian noise.
+        averaging delay) and carries seeded gaussian noise. With a fault
+        injector attached to the device, samples may be dropped
+        (``hw.sensor_dropout``) or frozen at the previous reading
+        (``hw.sensor_stuck``).
         """
         if t1 < t0:
             raise ValidationError(f"sample window reversed: [{t0!r}, {t1!r}]")
@@ -80,11 +91,27 @@ class PowerSensor:
         lag = self.lag_fraction * dt
         rng = make_rng(derive_seed(self._seed, first_idx, last_idx))
         noise = rng.normal(0.0, self.noise_std_w, size=times.shape)
+        injector = self.device.fault_injector
         samples: list[PowerSample] = []
+        last_power: float | None = None
         for t, eps in zip(times, noise):
+            if injector is not None and injector.fires(
+                "hw.sensor_dropout", float(t), target=self.device.index
+            ):
+                continue
+            if (
+                injector is not None
+                and last_power is not None
+                and injector.active(
+                    "hw.sensor_stuck", float(t), target=self.device.index
+                )
+            ):
+                samples.append(PowerSample(t=float(t), power_w=last_power))
+                continue
             read_at = max(t - lag, 0.0)
             power = self.device.instantaneous_power(read_at) + float(eps)
-            samples.append(PowerSample(t=float(t), power_w=max(power, 0.0)))
+            last_power = max(power, 0.0)
+            samples.append(PowerSample(t=float(t), power_w=last_power))
         return samples
 
     def measure_energy(self, t0: float, t1: float) -> float:
@@ -94,6 +121,10 @@ class PowerSensor:
         single-sample rectangle — the small-kernel inaccuracy of §4.4.
         """
         samples = self.sample_window(t0, t1)
+        if not samples:
+            raise SensorDropoutError(
+                f"sensor returned no samples in [{t0:.6f}, {t1:.6f}]s"
+            )
         if len(samples) == 1:
             return samples[0].power_w * (t1 - t0)
         times = np.array([s.t for s in samples])
@@ -111,5 +142,9 @@ class PowerSensor:
         """Sensor-estimated mean power (W) over a window."""
         if t1 <= t0:
             samples = self.sample_window(t0, t0)
+            if not samples:
+                raise SensorDropoutError(
+                    f"sensor returned no sample at t={t0:.6f}s"
+                )
             return samples[-1].power_w
         return self.measure_energy(t0, t1) / (t1 - t0)

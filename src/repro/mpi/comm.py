@@ -8,6 +8,13 @@ is done), matching how weak-scaling applications experience communication.
 Only the time/energy accounting is simulated — payload values are passed
 through Python directly (ranks live in one process), mirroring the mpi4py
 "communicate a Python object" style for convenience in the mini-apps.
+
+Resilience: MPI is where distributed failures *surface*. Every collective
+first polls the fault plane — a dead rank raises :class:`RankFailure`, a
+dead node raises :class:`NodeFailure` (both out of the payload, into the
+scheduler's requeue path, exactly like an MPI error aborting the job
+step). A degraded link (``mpi.link_degraded``) stretches transfer costs
+by ``1/param`` for the fault window without aborting anything.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.faults import FaultInjector, NodeFailure, RankFailure
 from repro.hw.device import SimulatedGPU
 from repro.mpi.network import NetworkModel
 
@@ -27,6 +35,8 @@ class SimulatedComm:
         gpus: list[SimulatedGPU],
         node_of_rank: list[int],
         network: NetworkModel | None = None,
+        node_names: list[str] | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         if not gpus:
             raise ValidationError("communicator needs at least one rank")
@@ -37,6 +47,18 @@ class SimulatedComm:
         self.gpus = list(gpus)
         self.node_of_rank = list(node_of_rank)
         self.network = network if network is not None else NetworkModel()
+        #: Node name per node index, for node-failure attribution. Defaults
+        #: to synthetic names when the communicator is built bare.
+        n_nodes = max(node_of_rank) + 1
+        if node_names is None:
+            node_names = [f"node{i:03d}" for i in range(n_nodes)]
+        if len(node_names) < n_nodes:
+            raise ValidationError(
+                f"node_names covers {len(node_names)} nodes; ranks span {n_nodes}"
+            )
+        self.node_names = list(node_names)
+        #: Shared fault-injection plane (None on the happy path).
+        self.injector = injector
         #: Communication seconds accumulated per rank (time spent blocked
         #: in MPI beyond local compute), for the time-includes-comm report.
         self.comm_time_s = np.zeros(len(gpus))
@@ -54,11 +76,53 @@ class SimulatedComm:
         if not 0 <= rank < self.size:
             raise ValidationError(f"rank {rank} out of range (size {self.size})")
 
+    # ---------------------------------------------------------------- faults
+
+    def _check_faults(self, t: float) -> None:
+        """Poll the fault plane at a collective's entry.
+
+        Node failures are checked first (a dead node takes all its ranks
+        with it), then per-rank failures. Raising out of the collective
+        models MPI's default error handler aborting the job step.
+        """
+        inj = self.injector
+        if inj is None:
+            return
+        for node_index in sorted(set(self.node_of_rank)):
+            name = self.node_names[node_index]
+            if inj.fires(
+                "slurm.node_fail",
+                t,
+                target=name,
+                detail=f"node {name} failed during a collective",
+            ):
+                raise NodeFailure((name,), t)
+        for rank in range(self.size):
+            if inj.fires(
+                "mpi.rank_fail",
+                t,
+                target=rank,
+                detail=f"rank {rank} died during a collective",
+            ):
+                raise RankFailure(rank, t)
+
+    def _link_factor(self, t: float) -> float:
+        """Transfer-cost multiplier (>= 1) while a link-degradation window
+        is active: bandwidth scaled by ``param`` stretches time by 1/param."""
+        inj = self.injector
+        if inj is None:
+            return 1.0
+        spec = inj.active("mpi.link_degraded", t)
+        if spec is None:
+            return 1.0
+        return 1.0 / float(spec.param)
+
     # ------------------------------------------------------------ primitives
 
     def barrier(self) -> float:
         """Synchronize all ranks; returns the post-barrier time."""
         t = max(g.clock.now for g in self.gpus)
+        self._check_faults(t)
         for rank, gpu in enumerate(self.gpus):
             self.comm_time_s[rank] += t - gpu.clock.now
             gpu.clock.advance_to(t)
@@ -77,9 +141,10 @@ class SimulatedComm:
             raise ValidationError("send_recv needs distinct ranks")
         t_src = self.gpus[src].clock.now
         t_dst = self.gpus[dst].clock.now
+        self._check_faults(max(t_src, t_dst))
         cost = self.network.transfer_time(
             nbytes, self.node_of_rank[src], self.node_of_rank[dst]
-        )
+        ) * self._link_factor(max(t_src, t_dst))
         done = max(t_src, t_dst) + cost
         self.comm_time_s[dst] += done - t_dst
         self.gpus[dst].clock.advance_to(done)
@@ -92,8 +157,9 @@ class SimulatedComm:
     def allreduce(self, nbytes: float) -> float:
         """Ring allreduce over all ranks; returns the completion time."""
         t = max(g.clock.now for g in self.gpus)
+        self._check_faults(t)
         cost = self.network.allreduce_time(nbytes, self.node_of_rank)
-        done = t + cost
+        done = t + cost * self._link_factor(t)
         for rank, gpu in enumerate(self.gpus):
             self.comm_time_s[rank] += done - gpu.clock.now
             gpu.clock.advance_to(done)
@@ -109,6 +175,9 @@ class SimulatedComm:
         if self.size == 1:
             return self.gpus[0].clock.now
         times = np.array([g.clock.now for g in self.gpus])
+        t_entry = float(times.max())
+        self._check_faults(t_entry)
+        factor = self._link_factor(t_entry)
         new_times = times.copy()
         for rank in range(self.size):
             neighbours = []
@@ -128,7 +197,7 @@ class SimulatedComm:
                 )
                 for n in neighbours
             )
-            new_times[rank] = ready + 2.0 * worst  # send + receive phases
+            new_times[rank] = ready + 2.0 * worst * factor  # send + receive
         for rank, gpu in enumerate(self.gpus):
             self.comm_time_s[rank] += new_times[rank] - times[rank]
             gpu.clock.advance_to(float(new_times[rank]))

@@ -21,7 +21,9 @@ def launch_ranks(
     """Build the communicator for a running job (one rank per GPU).
 
     ``ranks_per_node`` limits how many boards per node get a rank (defaults
-    to all of them).
+    to all of them). The allocation's fault injector (if the cluster was
+    built with a fault plan) is threaded into the communicator so node and
+    rank failures surface inside collectives.
     """
     gpus = []
     node_of_rank = []
@@ -37,4 +39,12 @@ def launch_ranks(
         for gpu in boards:
             gpus.append(gpu)
             node_of_rank.append(node_index)
-    return SimulatedComm(gpus, node_of_rank, network=network)
+    node_names = [node.name for node in context.nodes]
+    injector = getattr(context.nodes[0], "fault_injector", None)
+    return SimulatedComm(
+        gpus,
+        node_of_rank,
+        network=network,
+        node_names=node_names,
+        injector=injector,
+    )

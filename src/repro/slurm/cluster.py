@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan
 from repro.hw.device import SimulatedGPU
 from repro.hw.specs import GPUSpec
 from repro.vendor.nvml import NVMLLibrary
@@ -41,6 +42,10 @@ class Node:
         self.running_job: int | None = None
         #: Whether the running job holds the node exclusively.
         self.exclusive: bool = False
+        #: Drained after a node failure; never allocated again.
+        self.down: bool = False
+        #: Shared fault-injection plane (attached by the cluster).
+        self.fault_injector: FaultInjector | None = None
 
     @property
     def gpu_count(self) -> int:
@@ -53,8 +58,8 @@ class Node:
 
     @property
     def idle(self) -> bool:
-        """Whether no job occupies the node."""
-        return self.running_job is None
+        """Whether the node can take a job (no job running, not drained)."""
+        return self.running_job is None and not self.down
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.name!r}, gpus={self.gpu_count}, gres={sorted(self.gres)})"
@@ -71,6 +76,16 @@ class Cluster:
             raise ConfigurationError("duplicate node names in cluster")
         self.nodes = list(nodes)
         self.clock = clock
+        #: Shared fault-injection plane (None on the happy path).
+        self.fault_injector: FaultInjector | None = None
+
+    def attach_faults(self, injector: FaultInjector) -> None:
+        """Thread a fault injector through every node and board."""
+        self.fault_injector = injector
+        for node in self.nodes:
+            node.fault_injector = injector
+            for gpu in node.gpus:
+                gpu.fault_injector = injector
 
     @classmethod
     def build(
@@ -80,12 +95,14 @@ class Cluster:
         gpus_per_node: int = 4,
         gres: set[str] | None = None,
         clock: VirtualClock | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> "Cluster":
         """Provision a homogeneous cluster in production posture.
 
         Every GPU starts with API restriction enabled (only root may change
         clocks) and driver-default clocks — the state §2.3 describes for
-        large installations.
+        large installations. A ``fault_plan`` arms the chaos plane: its
+        injector is attached to the cluster, every node and every board.
         """
         if n_nodes < 1 or gpus_per_node < 1:
             raise ConfigurationError(
@@ -105,7 +122,10 @@ class Cluster:
                 gpu.set_api_restriction(True)
                 gpus.append(gpu)
             nodes.append(Node(name=f"node{i:03d}", gpus=gpus, gres=set(gres or ())))
-        return cls(nodes, clk)
+        cluster = cls(nodes, clk)
+        if fault_plan is not None:
+            cluster.attach_faults(fault_plan.injector())
+        return cluster
 
     @property
     def total_gpus(self) -> int:

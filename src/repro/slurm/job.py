@@ -25,6 +25,8 @@ class JobState(enum.Enum):
     RUNNING = "RUNNING"
     COMPLETED = "COMPLETED"
     FAILED = "FAILED"
+    #: A node allocated to the job died mid-run (requeue candidate).
+    NODE_FAIL = "NODE_FAIL"
 
 
 @dataclass(frozen=True)
@@ -92,8 +94,12 @@ class Job:
     gpu_energy_j: float | None = None
     #: Payload return value (e.g. an application report).
     result: object = None
-    #: Failure detail when state is FAILED.
+    #: Failure detail when state is FAILED or NODE_FAIL.
     error: str | None = None
+    #: Job id of the replacement job when this one was requeued.
+    requeued_as: int | None = None
+    #: Job id of the original submission when this job is a requeue.
+    requeue_of: int | None = None
 
     @property
     def elapsed_s(self) -> float:

@@ -14,19 +14,30 @@ In the epilogue it unconditionally restores the node to a consistent
 performance state: clocks back to driver defaults (the paper resets to the
 maximum performance state) and privileges re-raised — preventing the §2.3
 hazard of one job's low clocks leaking into the next job.
+
+The epilogue is exception-safe: a board that refuses its reset (transient
+driver hiccup, or a GPU that fell off the bus with the node) must not stop
+the cleanup of the *other* boards, and must not stop the privilege
+re-raise. Transient NVML errors are retried a bounded number of times;
+persistent ones are recorded in ``cleanup_failures`` and skipped.
 """
 
 from __future__ import annotations
 
 import enum
 
+from repro.common.errors import FaultInjectionError
 from repro.slurm.cluster import NVGPUFREQ_GRES, Node
 from repro.slurm.job import Job
 from repro.vendor.nvml import (
     NVML_FEATURE_DISABLED,
     NVML_FEATURE_ENABLED,
     NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS,
+    NVMLError,
 )
+
+#: Bounded retries for transient NVML errors during epilogue cleanup.
+EPILOGUE_MAX_RETRIES = 3
 
 
 class PluginDecision(enum.Enum):
@@ -46,11 +57,26 @@ class NvGpuFreqPlugin:
     def __init__(self) -> None:
         #: Per (job_id, node name) prologue decisions, for tests/auditing.
         self.decisions: dict[tuple[int, str], PluginDecision] = {}
+        #: Epilogue cleanup steps that could not be completed:
+        #: (job_id, node name, device index, what failed).
+        self.cleanup_failures: list[tuple[int, str, int, str]] = []
 
     # -------------------------------------------------------------- prologue
 
     def prologue(self, job: Job, node: Node) -> PluginDecision:
         """Run the §7.2 check chain; lower privileges only if all pass."""
+        injector = getattr(node, "fault_injector", None)
+        if injector is not None and injector.fires(
+            "slurm.prologue_fail",
+            self._node_now(node),
+            target=node.name,
+            detail=f"prologue crashed on {node.name} (job {job.job_id})",
+        ):
+            # A crashing prologue fails the job outright in SLURM; the
+            # scheduler's epilogue pass is the cleanup backstop.
+            raise FaultInjectionError(
+                f"nvgpufreq prologue failed on {node.name} (job {job.job_id})"
+            )
         decision = self._evaluate(job, node)
         self.decisions[(job.job_id, node.name)] = decision
         if decision is PluginDecision.GRANTED:
@@ -62,6 +88,16 @@ class NvGpuFreqPlugin:
             return PluginDecision.NODE_INFO_UNAVAILABLE
         if not node.has_gres(NVGPUFREQ_GRES):
             return PluginDecision.NODE_NOT_TAGGED
+        injector = getattr(node, "fault_injector", None)
+        if injector is not None and injector.fires(
+            "slurm.dlopen_fail",
+            self._node_now(node),
+            target=node.name,
+            detail=f"dlopen(libnvidia-ml.so) failed on {node.name}",
+        ):
+            # The real plugin degrades gracefully here: no privileges are
+            # granted, but the job still runs at default clocks (§7.2).
+            return PluginDecision.NVML_UNAVAILABLE
         if node.nvml is None or not node.nvml.available:
             return PluginDecision.NVML_UNAVAILABLE
         if not job.spec.requests_gres(NVGPUFREQ_GRES):
@@ -70,6 +106,10 @@ class NvGpuFreqPlugin:
             return PluginDecision.JOB_NOT_EXCLUSIVE
         return PluginDecision.GRANTED
 
+    @staticmethod
+    def _node_now(node: Node) -> float:
+        return max(gpu.clock.now for gpu in node.gpus)
+
     # -------------------------------------------------------------- epilogue
 
     def epilogue(self, job: Job, node: Node) -> None:
@@ -77,7 +117,12 @@ class NvGpuFreqPlugin:
 
         Runs for every job on a plugin-capable node regardless of the
         prologue decision ("when the job terminates for any reason"), so a
-        node can never be left in a degraded state.
+        node can never be left in a degraded state. Every board is
+        attempted independently: a transient NVML failure is retried, a
+        persistent one (e.g. ``GPU_IS_LOST`` after a node failure) is
+        recorded and skipped, and the restriction re-raise is attempted
+        even when the clock reset failed — the §2.3 stale-clock hazard
+        must not survive one flaky board.
         """
         if node.nvml is None or not node.nvml.available:
             return
@@ -87,14 +132,59 @@ class NvGpuFreqPlugin:
             node.nvml.nvmlInit()
             for i in range(node.nvml.nvmlDeviceGetCount()):
                 handle = node.nvml.nvmlDeviceGetHandleByIndex(i)
-                node.nvml.nvmlDeviceResetApplicationsClocks(handle)
-                node.nvml.nvmlDeviceSetAPIRestriction(
-                    handle,
-                    NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS,
-                    NVML_FEATURE_ENABLED,
+                self._cleanup_step(
+                    job,
+                    node,
+                    i,
+                    "reset application clocks",
+                    lambda h=handle: node.nvml.nvmlDeviceResetApplicationsClocks(h),
+                )
+                self._cleanup_step(
+                    job,
+                    node,
+                    i,
+                    "re-raise API restriction",
+                    lambda h=handle: node.nvml.nvmlDeviceSetAPIRestriction(
+                        h,
+                        NVML_RESTRICTED_API_SET_APPLICATION_CLOCKS,
+                        NVML_FEATURE_ENABLED,
+                    ),
                 )
         finally:
             node.nvml.effective_root = was_root
+
+    def _cleanup_step(
+        self, job: Job, node: Node, index: int, what: str, call
+    ) -> None:
+        """One epilogue action, retried on transient errors, never raising."""
+        injector = getattr(node, "fault_injector", None)
+        retries = 0
+        while True:
+            try:
+                call()
+            except NVMLError as exc:
+                if exc.transient and retries < EPILOGUE_MAX_RETRIES:
+                    retries += 1
+                    continue
+                self.cleanup_failures.append((job.job_id, node.name, index, what))
+                if injector is not None:
+                    injector.log.record_recovery(
+                        self._node_now(node),
+                        "nvml.set_clocks",
+                        index,
+                        f"epilogue could not {what} on {node.name} GPU {index} "
+                        f"({exc}); continuing cleanup",
+                    )
+                return
+            if retries and injector is not None:
+                injector.log.record_recovery(
+                    self._node_now(node),
+                    "nvml.set_clocks",
+                    index,
+                    f"epilogue {what} on {node.name} GPU {index} succeeded "
+                    f"after {retries} retr{'y' if retries == 1 else 'ies'}",
+                )
+            return
 
     # -------------------------------------------------------------- internal
 

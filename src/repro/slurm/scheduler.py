@@ -8,6 +8,13 @@ job's window — SLURM's energy accounting (§2.3) at job granularity.
 
 Jobs run to completion at submit time (the virtual clock advances through
 the payload), so ``submit`` doubles as ``sbatch --wait``.
+
+Resilience: when a payload dies with :class:`~repro.faults.NodeFailure`
+the scheduler behaves like slurmctld on a lost node — the job moves to
+``NODE_FAIL``, the dead nodes are drained (marked down, their boards
+marked lost so NVML reports ``GPU_IS_LOST``), and the job is requeued on
+the surviving nodes, up to ``max_requeues`` times. Requeue lineage is
+recorded on the job objects (``requeued_as`` / ``requeue_of``).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import itertools
 from typing import Protocol
 
 from repro.common.errors import ConfigurationError
+from repro.faults import NodeFailure
 from repro.slurm.cluster import Cluster, Node
 from repro.slurm.job import Job, JobContext, JobSpec, JobState
 
@@ -35,9 +43,19 @@ class SchedulerPlugin(Protocol):
 class Scheduler:
     """FIFO scheduler with plugin hooks and energy accounting."""
 
-    def __init__(self, cluster: Cluster, plugins: list[SchedulerPlugin] | None = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        plugins: list[SchedulerPlugin] | None = None,
+        max_requeues: int = 1,
+    ):
+        if max_requeues < 0:
+            raise ConfigurationError(
+                f"max_requeues cannot be negative ({max_requeues!r})"
+            )
         self.cluster = cluster
         self.plugins = list(plugins or [])
+        self.max_requeues = int(max_requeues)
         self._job_ids = itertools.count(1)
         self.jobs: dict[int, Job] = {}
 
@@ -48,6 +66,27 @@ class Scheduler:
     # ------------------------------------------------------------- lifecycle
 
     def submit(self, spec: JobSpec) -> Job:
+        """Run a job to completion, requeuing after node failures.
+
+        Returns the *last* job of the requeue chain (the one that actually
+        completed, failed, or exhausted the requeue budget); earlier
+        attempts stay queryable through ``jobs`` / ``requeued_as`` links.
+        """
+        job = self._run_one(spec)
+        requeues = 0
+        while job.state is JobState.NODE_FAIL and requeues < self.max_requeues:
+            if len(self.cluster.idle_nodes()) < spec.n_nodes:
+                job.error = (job.error or "") + (
+                    "; requeue impossible: "
+                    f"{len(self.cluster.idle_nodes())} healthy nodes idle, "
+                    f"{spec.n_nodes} needed"
+                )
+                break
+            requeues += 1
+            job = self._run_one(spec, requeue_of=job)
+        return job
+
+    def _run_one(self, spec: JobSpec, requeue_of: Job | None = None) -> Job:
         """Allocate, run hooks, execute the payload, account, clean up."""
         job = Job(
             job_id=next(self._job_ids),
@@ -55,6 +94,9 @@ class Scheduler:
             submit_time_s=self.cluster.clock.now,
         )
         self.jobs[job.job_id] = job
+        if requeue_of is not None:
+            job.requeue_of = requeue_of.job_id
+            requeue_of.requeued_as = job.job_id
 
         nodes = self._allocate(spec)
         job.nodes = nodes
@@ -74,17 +116,24 @@ class Scheduler:
             for gpu in node.gpus:
                 gpu.clock.advance_to(start)
         job.start_time_s = start
-        for plugin in self.plugins:
-            for node in nodes:
-                plugin.prologue(job, node)
 
         try:
+            # The prologue is inside the try so a prologue fault (a real
+            # SLURM failure mode) still runs the epilogue cleanup below —
+            # the §7.2 guarantee that no node leaks a degraded state.
+            for plugin in self.plugins:
+                for node in nodes:
+                    plugin.prologue(job, node)
             if spec.payload is not None:
                 context = JobContext(
                     job_id=job.job_id, nodes=nodes, clock=self.cluster.clock
                 )
                 job.result = spec.payload(context)
             job.state = JobState.COMPLETED
+        except NodeFailure as exc:  # a node died under the job: drain, requeue
+            job.state = JobState.NODE_FAIL
+            job.error = f"NodeFailure: {exc}"
+            self._drain(exc.nodes, job)
         except Exception as exc:  # payload failures must not wedge the node
             job.state = JobState.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
@@ -120,6 +169,23 @@ class Scheduler:
             )
         return idle[: spec.n_nodes]
 
+    def _drain(self, node_names: tuple[str, ...], job: Job) -> None:
+        """Take failed nodes out of service and mark their boards lost."""
+        injector = self.cluster.fault_injector
+        for name in node_names:
+            node = self.cluster.get_node(name)
+            node.down = True
+            if injector is not None:
+                for gpu in node.gpus:
+                    injector.mark_device_lost(gpu.index)
+                injector.log.record_recovery(
+                    self.cluster.clock.now,
+                    "slurm.node_fail",
+                    name,
+                    f"node drained after failing under job {job.job_id}; "
+                    "job marked NODE_FAIL for requeue",
+                )
+
     # ------------------------------------------------------------ accounting
 
     def _account_energy(self, job: Job) -> float:
@@ -144,4 +210,6 @@ class Scheduler:
             "elapsed_s": job.elapsed_s,
             "gpu_energy_j": job.gpu_energy_j,
             "error": job.error,
+            "requeued_as": job.requeued_as,
+            "requeue_of": job.requeue_of,
         }

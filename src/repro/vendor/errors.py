@@ -2,12 +2,16 @@
 
 Codes mirror the real libraries' return values so callers (the SYnergy
 runtime, the SLURM plugin) can branch on failure modes exactly as the C
-code would.
+code would. Retryable NVML codes (``NVML_ERROR_UNKNOWN``,
+``NVML_ERROR_TIMEOUT``) materialize as :class:`NVMLTransientError`, a
+subclass that also derives from
+:class:`~repro.common.errors.TransientError` so cross-layer retry loops
+can test retryability without vendor knowledge.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, TransientError
 
 # --- NVML return codes (subset) -------------------------------------------
 NVML_SUCCESS = 0
@@ -15,22 +19,67 @@ NVML_ERROR_UNINITIALIZED = 1
 NVML_ERROR_INVALID_ARGUMENT = 2
 NVML_ERROR_NOT_SUPPORTED = 3
 NVML_ERROR_NO_PERMISSION = 4
+NVML_ERROR_TIMEOUT = 10
+NVML_ERROR_GPU_IS_LOST = 15
+NVML_ERROR_UNKNOWN = 999
 
 _NVML_MESSAGES = {
     NVML_ERROR_UNINITIALIZED: "Uninitialized",
     NVML_ERROR_INVALID_ARGUMENT: "Invalid Argument",
     NVML_ERROR_NOT_SUPPORTED: "Not Supported",
     NVML_ERROR_NO_PERMISSION: "Insufficient Permissions",
+    NVML_ERROR_TIMEOUT: "Timeout",
+    NVML_ERROR_GPU_IS_LOST: "GPU is lost",
+    NVML_ERROR_UNKNOWN: "Unknown Error",
 }
+
+_NVML_SYMBOLS = {
+    NVML_SUCCESS: "NVML_SUCCESS",
+    NVML_ERROR_UNINITIALIZED: "NVML_ERROR_UNINITIALIZED",
+    NVML_ERROR_INVALID_ARGUMENT: "NVML_ERROR_INVALID_ARGUMENT",
+    NVML_ERROR_NOT_SUPPORTED: "NVML_ERROR_NOT_SUPPORTED",
+    NVML_ERROR_NO_PERMISSION: "NVML_ERROR_NO_PERMISSION",
+    NVML_ERROR_TIMEOUT: "NVML_ERROR_TIMEOUT",
+    NVML_ERROR_GPU_IS_LOST: "NVML_ERROR_GPU_IS_LOST",
+    NVML_ERROR_UNKNOWN: "NVML_ERROR_UNKNOWN",
+}
+
+#: Codes a caller may retry: the driver hiccuped, the board is still there.
+NVML_TRANSIENT_CODES = frozenset({NVML_ERROR_UNKNOWN, NVML_ERROR_TIMEOUT})
+
+
+def nvmlErrorString(code: int) -> str:
+    """Human-readable message for an NVML return code (C API helper)."""
+    return _NVML_MESSAGES.get(code, f"Unknown Error {code}")
 
 
 class NVMLError(ReproError):
-    """Raised by the simulated NVML with a C-style error code attached."""
+    """Raised by the simulated NVML with a C-style error code attached.
+
+    Constructing an ``NVMLError`` with a retryable code returns an
+    :class:`NVMLTransientError` instance (the pynvml subclass-per-code
+    pattern), so ``isinstance(exc, TransientError)`` works.
+    """
+
+    def __new__(cls, code: int, detail: str = "") -> "NVMLError":
+        if cls is NVMLError and code in NVML_TRANSIENT_CODES:
+            return super().__new__(NVMLTransientError)
+        return super().__new__(cls)
 
     def __init__(self, code: int, detail: str = "") -> None:
         self.code = code
-        message = _NVML_MESSAGES.get(code, f"Unknown Error {code}")
+        symbol = _NVML_SYMBOLS.get(code)
+        message = nvmlErrorString(code) + (f" ({symbol})" if symbol else "")
         super().__init__(f"NVML: {message}" + (f": {detail}" if detail else ""))
+
+    @property
+    def transient(self) -> bool:
+        """Whether the code is retryable."""
+        return self.code in NVML_TRANSIENT_CODES
+
+
+class NVMLTransientError(NVMLError, TransientError):
+    """A retryable NVML failure (``NVML_ERROR_UNKNOWN`` / ``TIMEOUT``)."""
 
 
 # --- ROCm SMI return codes (subset) ----------------------------------------
@@ -39,19 +88,35 @@ RSMI_STATUS_UNINITIALIZED = 1
 RSMI_STATUS_INVALID_ARGS = 2
 RSMI_STATUS_NOT_SUPPORTED = 3
 RSMI_STATUS_PERMISSION = 4
+RSMI_STATUS_BUSY = 10
+RSMI_STATUS_UNEXPECTED_DATA = 12
 
 _RSMI_MESSAGES = {
     RSMI_STATUS_UNINITIALIZED: "Uninitialized",
     RSMI_STATUS_INVALID_ARGS: "Invalid Arguments",
     RSMI_STATUS_NOT_SUPPORTED: "Not Supported",
     RSMI_STATUS_PERMISSION: "Permission Denied",
+    RSMI_STATUS_BUSY: "Device Busy",
+    RSMI_STATUS_UNEXPECTED_DATA: "Unexpected Data",
 }
+
+#: Retryable ROCm SMI statuses.
+RSMI_TRANSIENT_CODES = frozenset({RSMI_STATUS_BUSY})
 
 
 class RocmSMIError(ReproError):
     """Raised by the simulated ROCm SMI with a C-style status attached."""
 
+    def __new__(cls, code: int, detail: str = "") -> "RocmSMIError":
+        if cls is RocmSMIError and code in RSMI_TRANSIENT_CODES:
+            return super().__new__(RocmSMITransientError)
+        return super().__new__(cls)
+
     def __init__(self, code: int, detail: str = "") -> None:
         self.code = code
         message = _RSMI_MESSAGES.get(code, f"Unknown Status {code}")
         super().__init__(f"ROCm SMI: {message}" + (f": {detail}" if detail else ""))
+
+
+class RocmSMITransientError(RocmSMIError, TransientError):
+    """A retryable ROCm SMI failure (``RSMI_STATUS_BUSY``)."""

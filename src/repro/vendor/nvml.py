@@ -22,10 +22,12 @@ from repro.hw.device import ClockPermissionError, SimulatedGPU
 from repro.hw.sensor import PowerSensor
 from repro.common.errors import ConfigurationError
 from repro.vendor.errors import (
+    NVML_ERROR_GPU_IS_LOST,
     NVML_ERROR_INVALID_ARGUMENT,
     NVML_ERROR_NO_PERMISSION,
     NVML_ERROR_NOT_SUPPORTED,
     NVML_ERROR_UNINITIALIZED,
+    NVML_ERROR_UNKNOWN,
     NVMLError,
 )
 
@@ -96,7 +98,33 @@ class NVMLLibrary:
             or not 0 <= handle.index < len(self._devices)
         ):
             raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, "bad device handle")
-        return self._devices[handle.index]
+        dev = self._devices[handle.index]
+        inj = dev.fault_injector
+        if inj is not None:
+            # Persistent loss: a scheduled/probabilistic gpu_lost fault
+            # transitions the board into the lost state; every NVML call
+            # on it fails with GPU_IS_LOST from then on, as on real
+            # fallen-off-the-bus hardware.
+            if inj.fires("nvml.gpu_lost", dev.clock.now, target=dev.index):
+                inj.mark_device_lost(dev.index)
+            if inj.device_lost(dev.index):
+                raise NVMLError(
+                    NVML_ERROR_GPU_IS_LOST,
+                    f"device {dev.index} fell off the bus",
+                )
+        return dev
+
+    def _inject(self, dev: SimulatedGPU, site: str, default_code: int) -> None:
+        """Raise an injected transient vendor fault for one call site."""
+        inj = dev.fault_injector
+        if inj is None:
+            return
+        spec = inj.fires(site, dev.clock.now, target=dev.index)
+        if spec is not None:
+            raise NVMLError(
+                int(spec.code) if spec.code is not None else default_code,
+                f"injected fault at {site}",
+            )
 
     # ---------------------------------------------------------------- queries
 
@@ -121,12 +149,14 @@ class NVMLLibrary:
     def nvmlDeviceGetPowerUsage(self, handle: _DeviceHandle) -> int:
         """Current board power draw in **milliwatts** (sensor-sampled)."""
         dev = self._resolve(handle)
+        self._inject(dev, "nvml.power_read", NVML_ERROR_UNKNOWN)
         sensor = self._sensors[handle.index]
         return int(round(sensor.measure_average_power(dev.clock.now, dev.clock.now) * 1000.0))
 
     def nvmlDeviceGetTotalEnergyConsumption(self, handle: _DeviceHandle) -> int:
         """Cumulative board energy since time zero, in **millijoules**."""
         dev = self._resolve(handle)
+        self._inject(dev, "nvml.power_read", NVML_ERROR_UNKNOWN)
         return int(round(dev.energy_between(0.0, dev.clock.now) * 1000.0))
 
     def nvmlDeviceGetSupportedMemoryClocks(self, handle: _DeviceHandle) -> list[int]:
@@ -194,6 +224,7 @@ class NVMLLibrary:
     ) -> None:
         """Set application clocks; obeys the device's API restriction."""
         dev = self._resolve(handle)
+        self._inject(dev, "nvml.set_clocks", NVML_ERROR_UNKNOWN)
         try:
             dev.set_application_clocks(
                 mem_mhz, core_mhz, privileged=self.effective_root
@@ -206,6 +237,7 @@ class NVMLLibrary:
     def nvmlDeviceResetApplicationsClocks(self, handle: _DeviceHandle) -> None:
         """Restore default application clocks; obeys the API restriction."""
         dev = self._resolve(handle)
+        self._inject(dev, "nvml.set_clocks", NVML_ERROR_UNKNOWN)
         try:
             dev.reset_application_clocks(privileged=self.effective_root)
         except ClockPermissionError as exc:

@@ -74,6 +74,51 @@ def test_plan_compilation_reproducible(trained_bundle):
     assert compile_once() == compile_once()
 
 
+def _chaos_run(seed: int):
+    """One faulted queue run: returns (fault log, per-kernel stats)."""
+    from repro.core.queue import SynergyQueue
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.kernelir.instructions import InstructionMix
+    from repro.kernelir.kernel import KernelIR
+
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(site="nvml.set_clocks", probability=0.3),
+            FaultSpec(site="hw.sensor_dropout", probability=0.2),
+        ),
+    )
+    gpu = SimulatedGPU(NVIDIA_V100, index=0)
+    gpu.fault_injector = plan.injector()
+    queue = SynergyQueue(gpu)
+    kernel = KernelIR(
+        "chaos", InstructionMix(float_add=8, gl_access=2), work_items=1 << 20
+    )
+    clocks = (NVIDIA_V100.core_freqs_mhz[40], NVIDIA_V100.core_freqs_mhz[160])
+    for i in range(12):
+        queue.submit(
+            877, clocks[i % 2], lambda h: h.parallel_for(kernel.work_items, kernel)
+        )
+    queue.wait()
+    queue.device_energy_consumption()  # exercises the sensor-dropout path
+    return gpu.fault_injector.log.to_dicts(), queue.kernel_stats()
+
+
+def test_fault_injection_reproducible():
+    """Identical fault plans replay byte-identical logs and kernel stats."""
+    log_a, stats_a = _chaos_run(seed=13)
+    log_b, stats_b = _chaos_run(seed=13)
+    assert log_a == log_b
+    assert stats_a == stats_b
+    assert any(e["kind"] == "fault" for e in log_a)  # chaos actually ran
+
+
+def test_fault_injection_seed_changes_outcomes():
+    log_a, _ = _chaos_run(seed=13)
+    log_b, _ = _chaos_run(seed=14)
+    assert log_a != log_b
+
+
 def test_microbench_generation_stable_across_calls():
     a = generate_microbenchmarks(seed=9, random_count=5)
     b = generate_microbenchmarks(seed=9, random_count=5)
