@@ -11,7 +11,9 @@ exposes the deployment and analysis workflows:
 - ``accuracy`` — the Table 2 error analysis,
 - ``scaling`` — the Fig. 10 weak-scaling experiment,
 - ``fine-vs-coarse`` — the §2.2 tuning-granularity comparison,
-- ``faults`` — the chaos sweep: energy-target quality vs injected faults.
+- ``faults`` — the chaos sweep: energy-target quality vs injected faults,
+- ``perf`` — benchmark the vectorized fast paths against their scalar
+  baselines and write ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.experiments.export import (
     write_json,
 )
 from repro.experiments.faults import DEFAULT_RATES, run_fault_sweep
+from repro.experiments.perf import run_perf_pipeline
 from repro.experiments.report import format_table
 from repro.experiments.scaling import run_scaling_experiment
 from repro.experiments.sweep import sweep_kernel
@@ -301,6 +304,50 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    print(
+        f"benchmarking fast paths (quick={args.quick}, jobs={args.jobs}) ...",
+        file=sys.stderr,
+    )
+    report = run_perf_pipeline(
+        quick=args.quick, n_jobs=args.jobs, json_path=args.json or None
+    )
+    rows = [
+        [
+            s["name"],
+            f"{s['baseline_s']:.4f}",
+            f"{s['fast_s']:.4f}",
+            f"{s['speedup']:.1f}x",
+            "-" if s["target"] is None else f">={s['target']:.0f}x",
+            f"{s['max_rel_err']:.1e}",
+        ]
+        for s in report["sections"]
+    ]
+    print(
+        format_table(
+            ["fast path", "baseline (s)", "fast (s)", "speedup", "target",
+             "max rel err"],
+            rows,
+            title="Vectorized fast paths vs scalar baselines",
+        )
+    )
+    cache = report["sweep_cache"]
+    print(
+        format_table(
+            ["cold (s)", "warm (s)", "warm speedup", "hits", "misses",
+             "entries"],
+            [[f"{cache['cold_s']:.4f}", f"{cache['warm_s']:.4f}",
+              f"{cache['warm_speedup']:.0f}x", cache["hits"],
+              cache["misses"], cache["entries"]]],
+            title="Keyed sweep cache",
+        )
+    )
+    print(f"parallel forest deterministic: {report['forest_deterministic']}")
+    if args.json:
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_fine_vs_coarse(args: argparse.Namespace) -> int:
     spec = get_spec(args.device)
     kernels = [
@@ -404,6 +451,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bundle", default=None, help="trained bundle JSON path")
     p.add_argument("--json", default=None, help="export results to a JSON file")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("perf", help="benchmark the vectorized fast paths")
+    p.add_argument("--quick", action="store_true",
+                   help="shrink every scale for a smoke run")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="extra worker count to verify forest determinism with")
+    p.add_argument("--json", default="BENCH_perf.json",
+                   help="report output path ('' disables)")
+    p.set_defaults(fn=_cmd_perf)
 
     p = sub.add_parser("fine-vs-coarse", help="tuning-granularity comparison")
     p.add_argument("--device", default="v100", choices=known_devices())

@@ -11,7 +11,9 @@
   ``F_t, F_e, F_edp, F_ed2p`` of §6 and training-set construction,
 - :mod:`~repro.core.predictor` — the per-target frequency search (§6.2 ⑥),
 - :mod:`~repro.core.compiler` — the compile-time pipeline: feature
-  extraction → model inference → frequency plan embedded in the binary.
+  extraction → model inference → frequency plan embedded in the binary,
+- :mod:`~repro.core.sweepcache` — the keyed cache for analytic frequency
+  sweeps and predicted metric curves (docs/PERFORMANCE.md).
 """
 
 from repro.core.compiler import CompiledApplication, FrequencyPlan, SynergyCompiler
@@ -21,8 +23,9 @@ from repro.core.multigpu import DistributedEvent, MultiGpuSynergyQueue
 from repro.core.online import OnlineFrequencyTuner, tune_kernel_online
 from repro.core.persistence import load_bundle, save_bundle
 from repro.core.predictor import FrequencyPredictor
-from repro.core.profiling import EnergyProfiler
+from repro.core.profiling import EnergyProfiler, fastpath_cache_report
 from repro.core.queue import SynergyQueue
+from repro.core.sweepcache import SweepCache, default_sweep_cache, reset_caches
 
 __all__ = [
     "SynergyQueue",
@@ -41,4 +44,8 @@ __all__ = [
     "load_bundle",
     "OnlineFrequencyTuner",
     "tune_kernel_online",
+    "SweepCache",
+    "default_sweep_cache",
+    "reset_caches",
+    "fastpath_cache_report",
 ]

@@ -20,6 +20,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.core.sweepcache import SweepCache, resolve_cache
+from repro.hw.cache import models_for
 from repro.hw.power import PowerModel
 from repro.hw.specs import GPUSpec
 from repro.hw.timing import TimingModel
@@ -87,15 +89,61 @@ class TrainingSet:
         )
 
 
+def _compute_sweep(
+    spec: GPUSpec, kernel: KernelIR, freqs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One broadcasted evaluation of the full core-frequency sweep."""
+    timing_model, power_model = models_for(spec)
+    mem = float(spec.default_mem_mhz)
+    timing = timing_model.sweep(kernel, freqs, mem)
+    power = np.asarray(
+        power_model.power(
+            freqs, mem, timing.core_power_utilization, timing.u_mem
+        ),
+        dtype=float,
+    )
+    return freqs, timing.time_s, power * timing.time_s
+
+
 def measure_sweep(
-    spec: GPUSpec, kernel: KernelIR, core_freqs_mhz: Sequence[int] | None = None
+    spec: GPUSpec,
+    kernel: KernelIR,
+    core_freqs_mhz: Sequence[int] | None = None,
+    *,
+    cache: bool | SweepCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-task ``(freqs, time, energy)`` over a core-frequency sweep.
 
     This is the measurement primitive of training step ② — equivalent to
     executing the kernel once per frequency on a quiet device and reading
     per-kernel time/energy, but computed directly from the analytic models
-    (the simulation's ground truth) for speed.
+    (the simulation's ground truth) in one vectorized pass.
+
+    Results are memoized in the keyed sweep cache (device fingerprint ×
+    kernel fingerprint × frequency-table hash); cached arrays come back
+    read-only and shared. ``cache=False`` bypasses caching, ``cache`` may
+    also be an explicit :class:`~repro.core.sweepcache.SweepCache`.
+    """
+    freqs = np.asarray(
+        core_freqs_mhz if core_freqs_mhz is not None else spec.core_freqs_mhz,
+        dtype=float,
+    )
+    store = resolve_cache(cache)
+    if store is None:
+        return _compute_sweep(spec, kernel, freqs)
+    return store.get_or_compute(
+        store.sweep_key(spec, kernel, freqs),
+        lambda: _compute_sweep(spec, kernel, freqs),
+    )
+
+
+def measure_sweep_scalar(
+    spec: GPUSpec, kernel: KernelIR, core_freqs_mhz: Sequence[int] | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pre-vectorization reference sweep (per-clock combine + power calls).
+
+    Kept callable as the baseline the perf benchmark suite measures
+    :func:`measure_sweep` against; results are identical.
     """
     freqs = np.asarray(
         core_freqs_mhz if core_freqs_mhz is not None else spec.core_freqs_mhz,
@@ -106,7 +154,7 @@ def measure_sweep(
     mem = float(spec.default_mem_mhz)
     times = np.empty(freqs.shape)
     energies = np.empty(freqs.shape)
-    for i, timing in enumerate(timing_model.sweep(kernel, freqs, mem)):
+    for i, timing in enumerate(timing_model.sweep_scalar(kernel, freqs, mem)):
         power = float(
             power_model.power(
                 freqs[i], mem, timing.core_power_utilization, timing.u_mem

@@ -14,13 +14,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.models import EnergyModelBundle
+from repro.core.sweepcache import CURVE_STATS, kernel_fingerprint
 from repro.hw.specs import GPUSpec
 from repro.kernelir.kernel import KernelIR
 from repro.metrics.targets import EnergyTarget, TargetKind
 
 
 class FrequencyPredictor:
-    """Maps ``(kernel, target)`` to a predicted-optimal clock pair."""
+    """Maps ``(kernel, target)`` to a predicted-optimal clock pair.
+
+    Predicted metric curves are memoized per kernel fingerprint: one
+    experiment run asks for the same kernel's curves once per energy
+    target, and the curves depend only on the kernel's model inputs (the
+    frequency table is fixed per predictor). Hits and misses are counted
+    in :data:`repro.core.sweepcache.CURVE_STATS`.
+    """
 
     def __init__(self, bundle: EnergyModelBundle, spec: GPUSpec) -> None:
         self.bundle = bundle
@@ -29,10 +37,24 @@ class FrequencyPredictor:
         self._default_index = int(
             np.argmin(np.abs(self._freqs - spec.default_core_mhz))
         )
+        self._curve_memo: dict[str, dict[str, np.ndarray]] = {}
+
+    def _curves(self, kernel: KernelIR) -> dict[str, np.ndarray]:
+        key = kernel_fingerprint(kernel)
+        cached = self._curve_memo.get(key)
+        if cached is not None:
+            CURVE_STATS.hits += 1
+            return cached
+        CURVE_STATS.misses += 1
+        curves = self.bundle.predict_curves(kernel, self._freqs)
+        for arr in curves.values():
+            arr.setflags(write=False)
+        self._curve_memo[key] = curves
+        return curves
 
     def predict_index(self, kernel: KernelIR, target: EnergyTarget) -> int:
         """Index into the device core-clock table realizing ``target``."""
-        curves = self.bundle.predict_curves(kernel, self._freqs)
+        curves = self._curves(kernel)
         time = np.maximum(curves["time"], 1e-12)
         energy = np.maximum(curves["energy"], 1e-12)
         if target.kind is TargetKind.MIN_EDP:

@@ -15,7 +15,9 @@ experiment index):
 - :mod:`~repro.experiments.scaling` — the §8.4 multi-node weak-scaling
   experiment on the simulated Marconi-100 (Fig. 10),
 - :mod:`~repro.experiments.report` — ASCII tables/series matching the
-  paper's presentation.
+  paper's presentation,
+- :mod:`~repro.experiments.perf` — the tracked perf benchmark of the
+  vectorized fast paths (docs/PERFORMANCE.md).
 """
 
 from repro.experiments.accuracy import AccuracyAnalysis, run_accuracy_analysis
@@ -24,14 +26,23 @@ from repro.experiments.characterization import (
     characterize,
     fine_vs_coarse,
 )
+from repro.experiments.perf import run_perf_pipeline
 from repro.experiments.report import format_series, format_table
 from repro.experiments.scaling import ScalingResult, run_scaling_experiment
-from repro.experiments.sweep import FrequencySweep, sweep_kernel
+from repro.experiments.sweep import (
+    FrequencySweep,
+    FrequencySweep2D,
+    sweep_kernel,
+    sweep_kernel_2d,
+)
 from repro.experiments.training import ALGORITHM_NAMES, make_bundle, train_bundles
 
 __all__ = [
     "FrequencySweep",
+    "FrequencySweep2D",
     "sweep_kernel",
+    "sweep_kernel_2d",
+    "run_perf_pipeline",
     "CharacterizationResult",
     "characterize",
     "fine_vs_coarse",

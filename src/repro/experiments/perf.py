@@ -1,0 +1,214 @@
+"""Tracked performance benchmark of the vectorized fast paths.
+
+Times every fast path against its preserved scalar baseline at realistic
+experiment scales, asserts the two produce equivalent results, and writes
+a machine-readable report (``BENCH_perf.json``) so regressions in either
+speed or equivalence are visible across commits:
+
+- ``sweep_1d`` — :func:`~repro.core.models.measure_sweep` over the full
+  V100 core-frequency table vs the per-clock scalar loop (target ≥ 5×),
+- ``sweep_2d`` — :func:`~repro.experiments.sweep.sweep_kernel_2d` over the
+  Titan X (memory × core) grid vs the nested scalar loop (target ≥ 5×),
+- ``forest_fit`` / ``forest_predict`` — presorted, vectorized random
+  forest vs the per-node-argsort / node-walk reference (target ≥ 3×, and
+  bitwise-identical results),
+- ``sweep_cache`` — cold vs warm pass over the training sweeps through
+  the keyed sweep cache, with hit/miss counters,
+- ``forest_determinism`` — serial vs multi-worker training must produce
+  bitwise-identical forests.
+
+Equivalence tolerances: sweeps are compared at 1e-12 relative error
+(vectorized NumPy pow may differ from scalar libm pow by ~1 ulp); all ML
+results must match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.models import (
+    build_training_set,
+    expand_design,
+    measure_sweep,
+    measure_sweep_scalar,
+)
+from repro.core.profiling import fastpath_cache_report
+from repro.core.sweepcache import SweepCache
+from repro.experiments.sweep import sweep_kernel_2d, sweep_kernel_2d_scalar
+from repro.hw.specs import NVIDIA_TITAN_X, NVIDIA_V100
+from repro.kernelir.microbench import generate_microbenchmarks
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.serialization import serialize_estimator
+
+#: Speed targets the tentpole commits to (checked by the perf benchmark).
+SPEEDUP_TARGETS: dict[str, float] = {
+    "sweep_1d": 5.0,
+    "sweep_2d": 5.0,
+    "forest_fit": 3.0,
+    "forest_predict": 3.0,
+}
+
+#: Relative tolerance for vectorized-vs-scalar sweep equivalence.
+SWEEP_RTOL = 1e-12
+
+
+def _timed(fn, repeats: int = 1):
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _max_rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    denom = np.maximum(np.abs(b), 1e-300)
+    return float(np.max(np.abs(np.asarray(a) - np.asarray(b)) / denom))
+
+
+def _record(
+    name: str, baseline_s: float, fast_s: float, max_rel_err: float
+) -> dict:
+    target = SPEEDUP_TARGETS.get(name)
+    speedup = baseline_s / max(fast_s, 1e-12)
+    return {
+        "name": name,
+        "baseline_s": baseline_s,
+        "fast_s": fast_s,
+        "speedup": speedup,
+        "target": target,
+        "meets_target": bool(target is None or speedup >= target),
+        "max_rel_err": max_rel_err,
+    }
+
+
+def run_perf_pipeline(
+    quick: bool = False,
+    n_jobs: int | None = None,
+    json_path: str | Path | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Run the full sweep/train/predict perf benchmark.
+
+    ``quick`` shrinks every scale for smoke runs (CI / the verify skill);
+    speed targets are only meaningful — and only enforced by the perf
+    benchmark suite — at full scale. Raises ``AssertionError`` if any
+    fast path fails its equivalence check.
+    """
+    n_kernels = 8 if quick else 24
+    n_kernels_2d = 2 if quick else 4
+    n_trees = 8 if quick else 30
+    predict_tile = 2 if quick else 8
+    kernels = generate_microbenchmarks(random_count=n_kernels)
+    sections: list[dict] = []
+
+    # --- 1-D sweeps over the full V100 frequency table -------------------
+    fast_s, fast = _timed(
+        lambda: [measure_sweep(NVIDIA_V100, k, cache=False) for k in kernels],
+        repeats,
+    )
+    base_s, base = _timed(
+        lambda: [measure_sweep_scalar(NVIDIA_V100, k) for k in kernels]
+    )
+    err = max(
+        max(_max_rel_err(f[1], b[1]), _max_rel_err(f[2], b[2]))
+        for f, b in zip(fast, base)
+    )
+    assert err < SWEEP_RTOL, f"sweep_1d equivalence broke: {err:.3e}"
+    sections.append(_record("sweep_1d", base_s, fast_s, err))
+
+    # --- 2-D (memory x core) sweeps on the Titan X -----------------------
+    grid = kernels[:n_kernels_2d]
+    fast_s, fast = _timed(
+        lambda: [sweep_kernel_2d(NVIDIA_TITAN_X, k, cache=False) for k in grid],
+        repeats,
+    )
+    base_s, base = _timed(
+        lambda: [sweep_kernel_2d_scalar(NVIDIA_TITAN_X, k) for k in grid]
+    )
+    err = max(
+        max(
+            _max_rel_err(f.time_s, b.time_s),
+            _max_rel_err(f.energy_j, b.energy_j),
+        )
+        for f, b in zip(fast, base)
+    )
+    assert err < SWEEP_RTOL, f"sweep_2d equivalence broke: {err:.3e}"
+    sections.append(_record("sweep_2d", base_s, fast_s, err))
+
+    # --- forest training and prediction ----------------------------------
+    training = build_training_set(
+        NVIDIA_V100, kernels, NVIDIA_V100.core_freqs_mhz[:: 8 if quick else 4]
+    )
+    X = expand_design(training.X)
+    y = np.log(np.maximum(training.time_s, 1e-300))
+    params = dict(
+        n_estimators=n_trees, max_depth=14, min_samples_leaf=2, seed=11
+    )
+    fast_forest = RandomForestRegressor(n_jobs=1, **params)
+    base_forest = RandomForestRegressor(n_jobs=1, **params)
+    fast_s, _ = _timed(lambda: fast_forest.fit(X, y))
+    base_s, _ = _timed(lambda: base_forest.fit_scalar(X, y))
+    identical_fit = serialize_estimator(fast_forest) == serialize_estimator(
+        base_forest
+    )
+    assert identical_fit, "presorted forest fit diverged from reference"
+    sections.append(_record("forest_fit", base_s, fast_s, 0.0))
+
+    Xq = np.tile(X, (predict_tile, 1))
+    fast_s, pred_fast = _timed(lambda: fast_forest.predict(Xq), repeats)
+    base_s, pred_base = _timed(lambda: fast_forest.predict_scalar(Xq))
+    assert np.array_equal(pred_fast, pred_base), (
+        "flat forest prediction diverged from node walk"
+    )
+    sections.append(_record("forest_predict", base_s, fast_s, 0.0))
+
+    # --- parallel-training determinism -----------------------------------
+    parallel_forest = RandomForestRegressor(n_jobs=2, **params).fit(X, y)
+    forest_deterministic = serialize_estimator(
+        parallel_forest
+    ) == serialize_estimator(fast_forest)
+    assert forest_deterministic, "parallel forest differs from serial"
+    if n_jobs is not None and n_jobs != 2:
+        extra = RandomForestRegressor(n_jobs=n_jobs, **params).fit(X, y)
+        assert serialize_estimator(extra) == serialize_estimator(fast_forest)
+
+    # --- keyed sweep cache: cold vs warm ---------------------------------
+    cache = SweepCache()
+    cold_s, _ = _timed(
+        lambda: [measure_sweep(NVIDIA_V100, k, cache=cache) for k in kernels]
+    )
+    warm_s, _ = _timed(
+        lambda: [measure_sweep(NVIDIA_V100, k, cache=cache) for k in kernels]
+    )
+    cache_section = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / max(warm_s, 1e-12),
+        **cache.stats.as_dict(),
+        "entries": len(cache),
+    }
+
+    report = {
+        "quick": quick,
+        "scales": {
+            "n_kernels": n_kernels,
+            "n_kernels_2d": n_kernels_2d,
+            "n_trees": n_trees,
+            "training_rows": int(X.shape[0]),
+            "predict_rows": int(Xq.shape[0]),
+        },
+        "sections": sections,
+        "sweep_cache": cache_section,
+        "forest_deterministic": forest_deterministic,
+        "global_caches": fastpath_cache_report(),
+    }
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report

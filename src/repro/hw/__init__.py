@@ -14,6 +14,7 @@ boards with an analytical DVFS model:
   granularity limitation described in §4.4.
 """
 
+from repro.hw.cache import clear_model_cache, models_for
 from repro.hw.device import KernelExecutionRecord, SimulatedGPU
 from repro.hw.power import PowerModel
 from repro.hw.sensor import PowerSensor
@@ -26,10 +27,13 @@ from repro.hw.specs import (
     get_spec,
     known_devices,
 )
-from repro.hw.timing import KernelTiming, TimingModel
+from repro.hw.timing import KernelTiming, SweepTiming, TimingModel
 from repro.hw.voltage import VoltageCurve
 
 __all__ = [
+    "models_for",
+    "clear_model_cache",
+    "SweepTiming",
     "GPUSpec",
     "NVIDIA_V100",
     "NVIDIA_A100",

@@ -1,0 +1,42 @@
+"""Shared per-spec model instances.
+
+:class:`~repro.hw.timing.TimingModel` and :class:`~repro.hw.power.PowerModel`
+are immutable functions of a :class:`~repro.hw.specs.GPUSpec`, yet the hot
+sweep paths used to rebuild them (including the voltage-curve construction)
+on every call. :func:`models_for` hands out one shared pair per spec
+*instance* for the lifetime of the process — a sweep session constructs its
+models exactly once.
+
+Keys are object identities: specs are frozen dataclasses typically taken
+from the module-level catalog, and keeping the spec in the cache value pins
+its ``id`` so stale-identity collisions cannot occur.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.hw.power import PowerModel
+from repro.hw.specs import GPUSpec
+from repro.hw.timing import TimingModel
+
+_MODELS: dict[int, tuple[GPUSpec, TimingModel, PowerModel]] = {}
+_LOCK = threading.Lock()
+
+
+def models_for(spec: GPUSpec) -> tuple[TimingModel, PowerModel]:
+    """The process-wide ``(TimingModel, PowerModel)`` pair for a spec."""
+    entry = _MODELS.get(id(spec))
+    if entry is not None and entry[0] is spec:
+        return entry[1], entry[2]
+    timing = TimingModel(spec)
+    power = PowerModel(spec)
+    with _LOCK:
+        _MODELS[id(spec)] = (spec, timing, power)
+    return timing, power
+
+
+def clear_model_cache() -> None:
+    """Drop all shared model instances (test hook)."""
+    with _LOCK:
+        _MODELS.clear()

@@ -23,9 +23,8 @@ from dataclasses import dataclass
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import ConfigurationError, ReproError, SimulationError
-from repro.hw.power import PowerModel
+from repro.hw.cache import models_for
 from repro.hw.specs import GPUSpec
-from repro.hw.timing import TimingModel
 from repro.kernelir.kernel import KernelIR
 
 
@@ -69,15 +68,14 @@ class SimulatedGPU:
         self.spec = spec
         self.clock = clock if clock is not None else VirtualClock()
         self.index = next(_device_ids) if index is None else index
-        self.power_model = PowerModel(spec)
-        self.timing_model = TimingModel(spec)
+        self.timing_model, self.power_model = models_for(spec)
 
         self._core_mhz = spec.default_core_mhz
         self._mem_mhz = spec.default_mem_mhz
         #: Board power limit (W); kernels that would exceed it run at the
         #: highest clock whose power fits (hardware throttling). Defaults
         #: to the model's peak draw, i.e. unconstrained.
-        self.default_power_limit_w: float = PowerModel(spec).peak_power()
+        self.default_power_limit_w: float = self.power_model.peak_power()
         self.power_limit_w: float = self.default_power_limit_w
         #: NVML-style API restriction: True means clock changes need
         #: privilege. Standalone boards default to unrestricted (a developer

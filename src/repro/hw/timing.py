@@ -54,6 +54,52 @@ class KernelTiming:
 
 
 @dataclass(frozen=True)
+class SweepTiming:
+    """Struct-of-arrays result of a vectorized frequency sweep.
+
+    Every per-configuration quantity of :class:`KernelTiming` as one NumPy
+    array computed in a single broadcasted pass — no per-clock
+    ``_combine``. Arrays share one broadcast shape: ``(n_core,)`` for a
+    core-table sweep, ``(n_mem, n_core)`` for a joint 2-D sweep.
+    ``activity`` stays scalar (it depends only on the instruction mix).
+    """
+
+    time_s: np.ndarray
+    t_comp: np.ndarray
+    t_mem: np.ndarray
+    u_core: np.ndarray
+    u_mem: np.ndarray
+    activity: float = 1.0
+
+    @property
+    def core_power_utilization(self) -> np.ndarray:
+        """Effective core-domain switching input for the power model."""
+        return self.u_core * self.activity
+
+    def __len__(self) -> int:
+        return int(self.time_s.shape[0])
+
+    def at(self, index) -> KernelTiming:
+        """Materialize one configuration as a scalar :class:`KernelTiming`."""
+        return KernelTiming(
+            time_s=float(self.time_s[index]),
+            t_comp=float(self.t_comp[index]),
+            t_mem=float(self.t_mem[index]),
+            u_core=float(self.u_core[index]),
+            u_mem=float(self.u_mem[index]),
+            activity=self.activity,
+        )
+
+    def __iter__(self):
+        if self.time_s.ndim != 1:
+            raise TypeError(
+                f"can only iterate a 1-D sweep (shape {self.time_s.shape})"
+            )
+        for i in range(self.time_s.shape[0]):
+            yield self.at(i)
+
+
+@dataclass(frozen=True)
 class TimingModel:
     """Analytic timing model bound to one device spec."""
 
@@ -84,18 +130,23 @@ class TimingModel:
 
     def effective_bandwidth(
         self, core_mhz: float | np.ndarray, mem_mhz: float | np.ndarray
-    ) -> float | np.ndarray:
-        """DRAM bandwidth (bytes/s) achievable at the given clocks."""
+    ) -> np.ndarray:
+        """DRAM bandwidth (bytes/s) achievable at the given clocks.
+
+        Always returns an array (0-d for scalar inputs); use
+        :meth:`effective_bandwidth_scalar` for a typed ``float``.
+        """
         peak = self.spec.peak_bandwidth_gbs * 1e9
         mem_scale = np.asarray(mem_mhz, dtype=float) / float(
             self.spec.mem_freqs_mhz[-1]
         )
         knee_mhz = self.spec.bw_knee * self.spec.max_core_mhz
         issue_scale = np.minimum(1.0, np.asarray(core_mhz, dtype=float) / knee_mhz)
-        bw = peak * mem_scale * issue_scale
-        if np.isscalar(core_mhz) and np.isscalar(mem_mhz):
-            return float(bw)
-        return bw
+        return np.asarray(peak * mem_scale * issue_scale, dtype=float)
+
+    def effective_bandwidth_scalar(self, core_mhz: float, mem_mhz: float) -> float:
+        """Scalar DRAM bandwidth (bytes/s) for one clock pair."""
+        return float(self.effective_bandwidth(float(core_mhz), float(mem_mhz)))
 
     def execute(
         self, kernel: KernelIR, core_mhz: float, mem_mhz: float
@@ -107,9 +158,46 @@ class TimingModel:
         )
 
     def sweep(
+        self,
+        kernel: KernelIR,
+        core_mhz: np.ndarray,
+        mem_mhz: float | np.ndarray,
+    ) -> SweepTiming:
+        """Vectorized timing over a frequency sweep in one NumPy pass.
+
+        ``core_mhz`` and ``mem_mhz`` broadcast against each other, so a 1-D
+        core table gives a ``(n_core,)`` sweep and ``(core[None, :],
+        mem[:, None])`` gives the full ``(n_mem, n_core)`` grid. The result
+        iterates as per-clock :class:`KernelTiming` values for 1-D sweeps;
+        per-element results are bitwise those of :meth:`execute`.
+        """
+        t_comp, t_mem = self._phase_times(kernel, core_mhz, mem_mhz)
+        t_comp, t_mem = np.broadcast_arrays(
+            np.asarray(t_comp, dtype=float), np.asarray(t_mem, dtype=float)
+        )
+        p = SMOOTH_MAX_P
+        body = (t_comp**p + t_mem**p) ** (1.0 / p)
+        positive = body > 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u_core = np.where(positive, np.minimum(1.0, t_comp / body), 0.0)
+            u_mem = np.where(positive, np.minimum(1.0, t_mem / body), 0.0)
+        return SweepTiming(
+            time_s=np.where(positive, body, 0.0) + self.spec.launch_overhead_s,
+            t_comp=t_comp.copy(),
+            t_mem=t_mem.copy(),
+            u_core=u_core,
+            u_mem=u_mem,
+            activity=self.switching_activity(kernel),
+        )
+
+    def sweep_scalar(
         self, kernel: KernelIR, core_mhz: np.ndarray, mem_mhz: float
     ) -> list[KernelTiming]:
-        """Vectorized timing over a core-frequency sweep (one row per clock)."""
+        """Per-clock reference sweep (one scalar ``_combine`` per clock).
+
+        Kept as the baseline the perf benchmark suite measures
+        :meth:`sweep` against; results are identical.
+        """
         core = np.asarray(core_mhz, dtype=float)
         t_comp, t_mem = self._phase_times(kernel, core, mem_mhz)
         t_comp = np.broadcast_to(np.asarray(t_comp, dtype=float), core.shape)

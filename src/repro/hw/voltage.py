@@ -72,10 +72,10 @@ class VoltageCurve:
         Equals 1 at the top of the table; this is the factor the core-domain
         dynamic power is multiplied by.
         """
-        v = self.voltage(f_mhz)
-        scale = (v / self.v_max) ** 2 * (
-            np.clip(f_mhz, self.f_min_mhz, self.f_max_mhz) / self.f_max_mhz
-        )
+        f = np.clip(f_mhz, self.f_min_mhz, self.f_max_mhz)
+        x = (f - self.f_min_mhz) / (self.f_max_mhz - self.f_min_mhz)
+        v = self.v_min + (self.v_max - self.v_min) * np.power(x, self.gamma)
+        scale = (v / self.v_max) ** 2 * (f / self.f_max_mhz)
         if np.isscalar(f_mhz):
             return float(scale)
         return scale

@@ -47,6 +47,11 @@ def energy_saving_index(
     e_default = e[default_index]
     e_min = float(np.min(e))
     threshold = e_default - (percent / 100.0) * (e_default - e_min)
+    if percent >= 100.0:
+        # Algebraically the threshold is exactly e_min here, but the float
+        # expression above can round one ulp high and admit a near-minimum
+        # configuration; ES_100 must land on the global energy minimum.
+        threshold = e_min
     eligible = np.flatnonzero(e <= threshold)
     if eligible.size == 0:
         # Degenerate sweep (default already at minimum energy).

@@ -1,13 +1,69 @@
-"""Random forest regression: bagged CART trees with feature subsampling."""
+"""Random forest regression: bagged CART trees with feature subsampling.
+
+Training can fan the independent tree fits out over worker processes (or
+threads). Determinism is preserved by construction: every bootstrap resample
+is drawn **serially** from the forest-level RNG before any worker starts,
+each tree's own RNG is seeded with ``derive_seed(seed, "tree", i)`` exactly
+as in serial training, and the fitted trees are reassembled in index order —
+so ``trees_`` (and therefore predictions) are bitwise identical for any
+worker count, including the serial fallback.
+"""
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.rng import derive_seed, make_rng
 from repro.ml.base import Estimator, check_Xy
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import DecisionTreeRegressor, FlatTree
+
+#: Environment knob for the default training worker count ("1" = serial).
+JOBS_ENV_VAR = "REPRO_JOBS"
+#: Environment knob for the executor kind: "process" (default) or "thread".
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def _fit_one_tree(args) -> DecisionTreeRegressor:
+    """Fit a single forest member (module-level for process pools)."""
+    X, y, idx, params, seed = args
+    tree = DecisionTreeRegressor(seed=seed, **params)
+    if idx is None:
+        return tree.fit(X, y)
+    return tree.fit(X[idx], y[idx])
+
+
+@dataclass(frozen=True)
+class _StackedForest:
+    """All member trees' flat arrays concatenated with offset child links."""
+
+    flat: FlatTree
+    roots: np.ndarray  # (n_trees,) node index of each tree's root
+
+
+def _stack_trees(trees: list[DecisionTreeRegressor]) -> _StackedForest:
+    flats = [t.flat_tree() for t in trees]
+    offsets = np.cumsum([0] + [f.n_nodes for f in flats[:-1]])
+    feature = np.concatenate([f.feature for f in flats])
+    threshold = np.concatenate([f.threshold for f in flats])
+    value = np.concatenate([f.value for f in flats])
+    left = np.concatenate(
+        [np.where(f.left >= 0, f.left + off, -1) for f, off in zip(flats, offsets)]
+    )
+    right = np.concatenate(
+        [np.where(f.right >= 0, f.right + off, -1) for f, off in zip(flats, offsets)]
+    )
+    return _StackedForest(
+        flat=FlatTree(
+            feature=feature, threshold=threshold, left=left, right=right,
+            value=value,
+        ),
+        roots=np.asarray(offsets, dtype=np.intp),
+    )
 
 
 class RandomForestRegressor(Estimator):
@@ -15,7 +71,8 @@ class RandomForestRegressor(Estimator):
 
     Defaults follow common practice for regression: trees grown deep,
     one-third of the features considered per split, full-size bootstrap
-    resamples. Fully deterministic given ``seed``.
+    resamples. Fully deterministic given ``seed`` — regardless of
+    ``n_jobs``.
     """
 
     def __init__(
@@ -26,43 +83,135 @@ class RandomForestRegressor(Estimator):
         max_features: int | float | None = 1.0 / 3.0,
         bootstrap: bool = True,
         seed: int | None = None,
+        n_jobs: int | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValidationError(f"n_estimators must be >= 1 ({n_estimators!r})")
+        if n_jobs is not None and n_jobs < 1:
+            raise ValidationError(f"n_jobs must be >= 1 ({n_jobs!r})")
         self.n_estimators = int(n_estimators)
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.seed = seed
+        self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeRegressor] | None = None
+        self._stacked: tuple[object, _StackedForest] | None = None
+
+    def _resolve_jobs(self) -> int:
+        """Worker count: explicit ``n_jobs``, else ``REPRO_JOBS``, else 1."""
+        if self.n_jobs is not None:
+            return self.n_jobs
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                return max(1, int(raw))
+            except ValueError:
+                return 1
+        return 1
+
+    def _tree_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+
+    def _bootstrap_indices(self, n: int) -> list[np.ndarray | None]:
+        """Draw all resamples serially — the RNG call order of serial fit."""
+        rng = make_rng(self.seed)
+        draws: list[np.ndarray | None] = []
+        for _ in range(self.n_estimators):
+            draws.append(rng.integers(0, n, size=n) if self.bootstrap else None)
+        return draws
 
     def fit(self, X, y) -> "RandomForestRegressor":
+        """Fit all trees, in parallel when ``n_jobs``/``REPRO_JOBS`` > 1."""
         X, y = check_Xy(X, y)
         assert y is not None
-        n = X.shape[0]
-        rng = make_rng(self.seed)
-        trees: list[DecisionTreeRegressor] = []
-        for i in range(self.n_estimators):
-            if self.bootstrap:
-                idx = rng.integers(0, n, size=n)
-                Xb, yb = X[idx], y[idx]
-            else:
-                Xb, yb = X, y
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                seed=derive_seed(self.seed, "tree", i),
+        tasks = [
+            (X, y, idx, self._tree_params(), derive_seed(self.seed, "tree", i))
+            for i, idx in enumerate(self._bootstrap_indices(X.shape[0]))
+        ]
+        jobs = min(self._resolve_jobs(), self.n_estimators)
+        trees: list[DecisionTreeRegressor] | None = None
+        if jobs > 1:
+            executor_cls = (
+                ThreadPoolExecutor
+                if os.environ.get(EXECUTOR_ENV_VAR, "process").strip() == "thread"
+                else ProcessPoolExecutor
             )
-            tree.fit(Xb, yb)
-            trees.append(tree)
+            try:
+                with executor_cls(max_workers=jobs) as pool:
+                    trees = list(pool.map(_fit_one_tree, tasks))
+            except Exception:
+                # Pool unavailable (restricted sandbox, missing semaphores,
+                # pickling limits): fall back to the serial path, which
+                # produces the identical forest.
+                trees = None
+        if trees is None:
+            trees = [_fit_one_tree(task) for task in tasks]
         self.trees_ = trees
+        self._stacked = None
         return self
 
+    def fit_scalar(self, X, y) -> "RandomForestRegressor":
+        """Reference serial fit via the per-node-argsort tree path."""
+        X, y = check_Xy(X, y)
+        assert y is not None
+        trees: list[DecisionTreeRegressor] = []
+        for i, idx in enumerate(self._bootstrap_indices(X.shape[0])):
+            Xb, yb = (X, y) if idx is None else (X[idx], y[idx])
+            tree = DecisionTreeRegressor(
+                seed=derive_seed(self.seed, "tree", i), **self._tree_params()
+            )
+            tree.fit_scalar(Xb, yb)
+            trees.append(tree)
+        self.trees_ = trees
+        self._stacked = None
+        return self
+
+    def _stacked_forest(self) -> _StackedForest:
+        assert self.trees_ is not None
+        cached = getattr(self, "_stacked", None)
+        if cached is not None and cached[0] is self.trees_:
+            return cached[1]
+        stacked = _stack_trees(self.trees_)
+        self._stacked = (self.trees_, stacked)
+        return stacked
+
     def predict(self, X) -> np.ndarray:
+        """Vectorized prediction over all stacked trees at once."""
         self._check_fitted("trees_")
         assert self.trees_ is not None
         X, _ = check_Xy(X)
-        predictions = np.stack([tree.predict(X) for tree in self.trees_])
+        fitted_p = self.trees_[0].n_features_
+        if fitted_p is not None and X.shape[1] != fitted_p:
+            raise ValidationError(
+                f"feature count mismatch: fitted {fitted_p}, got {X.shape[1]}"
+            )
+        stacked = self._stacked_forest()
+        flat = stacked.flat
+        n_trees = stacked.roots.shape[0]
+        n = X.shape[0]
+        nodes = np.repeat(stacked.roots, n)
+        cols = np.tile(np.arange(n, dtype=np.intp), n_trees)
+        active = np.flatnonzero(flat.feature[nodes] >= 0)
+        while active.size:
+            cur = nodes[active]
+            rows = cols[active]
+            go_left = X[rows, flat.feature[cur]] <= flat.threshold[cur]
+            nxt = np.where(go_left, flat.left[cur], flat.right[cur])
+            nodes[active] = nxt
+            active = active[flat.feature[nxt] >= 0]
+        predictions = flat.value[nodes].reshape(n_trees, n)
+        return predictions.mean(axis=0)
+
+    def predict_scalar(self, X) -> np.ndarray:
+        """Reference prediction: per-tree node walks; kept as baseline."""
+        self._check_fitted("trees_")
+        assert self.trees_ is not None
+        X, _ = check_Xy(X)
+        predictions = np.stack([tree.predict_scalar(X) for tree in self.trees_])
         return predictions.mean(axis=0)
