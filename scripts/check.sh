@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local quality gate: tier-1 test suite, plus branch coverage when the
+# `coverage` package is available (the floor lives in pyproject.toml's
+# [tool.coverage.report] section). CI images without coverage installed
+# still get the full test run — the gate degrades, it never skips tests.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if python -c "import coverage" >/dev/null 2>&1; then
+    echo "== pytest under coverage (fail_under from pyproject.toml) =="
+    python -m coverage run -m pytest -x -q "$@"
+    python -m coverage report
+else
+    echo "== coverage not installed; running plain pytest =="
+    python -m pytest -x -q "$@"
+fi

@@ -65,6 +65,7 @@ class MpiMiniApp:
         target: EnergyTarget | None = None,
         plan: FrequencyPlan | None = None,
         switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S,
+        trace=None,
     ) -> AppReport:
         """Execute the app over all ranks of ``comm``.
 
@@ -76,11 +77,17 @@ class MpiMiniApp:
             raise ValidationError(
                 "running with an energy target requires a compiled frequency plan"
             )
+        if trace is None:
+            # Inherit the communicator's session so a traced cluster run
+            # traces per-rank queues without extra plumbing.
+            trace = comm.trace
         kernels = self.timestep_kernels()
         start = comm.barrier()
         comm_before = float(comm.comm_time_s.max())
         queues = [
-            SynergyQueue(gpu, plan=plan, switch_overhead_s=switch_overhead_s)
+            SynergyQueue(
+                gpu, plan=plan, switch_overhead_s=switch_overhead_s, trace=trace
+            )
             for gpu in comm.gpus
         ]
         launches = 0

@@ -13,7 +13,9 @@ exposes the deployment and analysis workflows:
 - ``fine-vs-coarse`` — the §2.2 tuning-granularity comparison,
 - ``faults`` — the chaos sweep: energy-target quality vs injected faults,
 - ``perf`` — benchmark the vectorized fast paths against their scalar
-  baselines and write ``BENCH_perf.json``.
+  baselines and write ``BENCH_perf.json``,
+- ``trace`` — run a seeded observability scenario and export its Chrome
+  trace and metrics documents (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -348,6 +350,35 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_metrics_json, write_trace_json
+    from repro.obs.scenarios import run_scenario
+
+    print(
+        f"running scenario {args.scenario!r} (seed {args.seed}) ...",
+        file=sys.stderr,
+    )
+    session = run_scenario(args.scenario, seed=args.seed)
+    meta = {"scenario": args.scenario, "seed": args.seed}
+    trace_path = write_trace_json(session, args.out, metadata=meta)
+    print(f"wrote {trace_path} (open in Perfetto / chrome://tracing)")
+    if args.metrics:
+        metrics_path = write_metrics_json(session, args.metrics, metadata=meta)
+        print(f"wrote {metrics_path}")
+    spans = session.tracer.span_counts()
+    rows = [[cat, n] for cat, n in spans.items()]
+    rows += [[f"{cat} (instant)", n]
+             for cat, n in session.tracer.instant_counts().items()]
+    print(
+        format_table(
+            ["category", "events"],
+            rows,
+            title=f"Recorded events ({sum(spans.values())} spans)",
+        )
+    )
+    return 0
+
+
 def _cmd_fine_vs_coarse(args: argparse.Namespace) -> int:
     spec = get_spec(args.device)
     kernels = [
@@ -466,6 +497,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmarks", nargs="+", required=True)
     p.add_argument("--target", default="MIN_ENERGY")
     p.set_defaults(fn=_cmd_fine_vs_coarse)
+
+    p = sub.add_parser("trace", help="run an observability scenario, export "
+                       "Chrome trace + metrics JSON")
+    from repro.obs.scenarios import SCENARIOS
+
+    p.add_argument("scenario", choices=sorted(SCENARIOS),
+                   help="seeded end-to-end scenario to run")
+    p.add_argument("--seed", type=int, default=7, help="scenario seed")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event output path")
+    p.add_argument("--metrics", default=None,
+                   help="also write the flat metrics document here")
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 

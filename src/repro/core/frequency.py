@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from repro.common.errors import TransientError, ValidationError
 from repro.hw.device import SimulatedGPU
+from repro.obs.session import TraceSession, resolve_trace
+from repro.obs.tracer import NULL_SPAN, Span
 from repro.vendor.portable import PowerManagementBackend, create_backend
 
 #: Virtual-time cost of one NVML/SMI application-clock change (seconds).
@@ -44,6 +46,7 @@ class FrequencyScaler:
         max_retries: int = DEFAULT_MAX_RETRIES,
         backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
         backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        trace: TraceSession | None = None,
     ) -> None:
         if switch_overhead_s < 0:
             raise ValidationError(
@@ -57,6 +60,8 @@ class FrequencyScaler:
                 f"cap={backoff_cap_s!r}"
             )
         self.device = device
+        self.trace = resolve_trace(trace)
+        self._track = f"gpu{device.index}"
         self.backend = backend if backend is not None else create_backend(device)
         self.switch_overhead_s = float(switch_overhead_s)
         self.max_retries = int(max_retries)
@@ -92,9 +97,25 @@ class FrequencyScaler:
         Non-transient errors (permission, invalid clocks, lost GPU)
         propagate unchanged.
         """
+        tr = self.trace
+        if not tr.enabled:
+            return self._set_frequency(mem_mhz, core_mhz, NULL_SPAN)
+        with tr.span(
+            self.device.clock,
+            self._track,
+            "freq.set",
+            f"set {mem_mhz}/{core_mhz}",
+            mem_mhz=mem_mhz,
+            core_mhz=core_mhz,
+        ) as sp:
+            return self._set_frequency(mem_mhz, core_mhz, sp)
+
+    def _set_frequency(self, mem_mhz: int, core_mhz: int, sp: Span) -> bool:
+        tr = self.trace
         self.last_degraded = False
         current_core, current_mem = self.backend.current_clocks()
         if (current_core, current_mem) == (core_mhz, mem_mhz):
+            sp.set(applied=False, skipped=True)
             return False
         backoff = self.backoff_base_s
         for attempt in range(self.max_retries + 1):
@@ -106,8 +127,21 @@ class FrequencyScaler:
                 self.backend.set_clocks(mem_mhz, core_mhz)
             except TransientError as exc:
                 self.retry_count += 1
+                if tr.enabled:
+                    tr.instant(
+                        self.device.clock.now,
+                        self._track,
+                        "freq.retry",
+                        f"set {mem_mhz}/{core_mhz}",
+                        attempt=attempt + 1,
+                        error=str(exc),
+                    )
+                    tr.count("freq.retries")
                 if attempt == self.max_retries:
                     self._degrade(mem_mhz, core_mhz, exc)
+                    sp.set(applied=False, degraded=True, attempts=attempt + 1)
+                    if tr.enabled:
+                        tr.count("freq.degraded")
                     return False
                 if backoff > 0.0:
                     self.device.clock.advance(backoff)
@@ -115,6 +149,9 @@ class FrequencyScaler:
                 backoff = min(2.0 * backoff, self.backoff_cap_s)
                 continue
             self.switch_count += 1
+            sp.set(applied=True, attempts=attempt + 1)
+            if tr.enabled:
+                tr.count("freq.switches")
             if attempt:
                 self._log_recovery(
                     f"clock-set {mem_mhz}/{core_mhz} MHz succeeded after "
@@ -149,6 +186,10 @@ class FrequencyScaler:
     def reset(self) -> None:
         """Restore driver-default clocks (counts as one switch if effective)."""
         spec = self.device.spec
+        if self.trace.enabled:
+            self.trace.instant(
+                self.device.clock.now, self._track, "freq.reset", "reset"
+            )
         self.set_frequency(spec.default_mem_mhz, spec.default_core_mhz)
 
     def supported_core_freqs(self) -> tuple[int, ...]:

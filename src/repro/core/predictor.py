@@ -18,6 +18,7 @@ from repro.core.sweepcache import CURVE_STATS, kernel_fingerprint
 from repro.hw.specs import GPUSpec
 from repro.kernelir.kernel import KernelIR
 from repro.metrics.targets import EnergyTarget, TargetKind
+from repro.obs.session import TraceSession, resolve_trace
 
 
 class FrequencyPredictor:
@@ -30,9 +31,15 @@ class FrequencyPredictor:
     in :data:`repro.core.sweepcache.CURVE_STATS`.
     """
 
-    def __init__(self, bundle: EnergyModelBundle, spec: GPUSpec) -> None:
+    def __init__(
+        self,
+        bundle: EnergyModelBundle,
+        spec: GPUSpec,
+        trace: TraceSession | None = None,
+    ) -> None:
         self.bundle = bundle
         self.spec = spec
+        self.trace = resolve_trace(trace)
         self._freqs = np.asarray(spec.core_freqs_mhz, dtype=float)
         self._default_index = int(
             np.argmin(np.abs(self._freqs - spec.default_core_mhz))
@@ -44,8 +51,10 @@ class FrequencyPredictor:
         cached = self._curve_memo.get(key)
         if cached is not None:
             CURVE_STATS.hits += 1
+            self.trace.count("predict.curve_hits")
             return cached
         CURVE_STATS.misses += 1
+        self.trace.count("predict.curve_misses")
         curves = self.bundle.predict_curves(kernel, self._freqs)
         for arr in curves.values():
             arr.setflags(write=False)
@@ -68,5 +77,6 @@ class FrequencyPredictor:
         self, kernel: KernelIR, target: EnergyTarget
     ) -> tuple[int, int]:
         """Predicted-optimal ``(mem_mhz, core_mhz)`` for a kernel and target."""
+        self.trace.count("predict.calls")
         idx = self.predict_index(kernel, target)
         return self.spec.default_mem_mhz, int(self.spec.core_freqs_mhz[idx])

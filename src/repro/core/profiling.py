@@ -22,21 +22,32 @@ from __future__ import annotations
 from repro.common.errors import TransientError, ValidationError
 from repro.hw.device import SimulatedGPU
 from repro.hw.sensor import PowerSensor
+from repro.obs.session import TraceSession, resolve_trace
 from repro.sycl.event import Event
 
 
 class EnergyProfiler:
     """Sensor-based energy accounting for one device."""
 
-    def __init__(self, device: SimulatedGPU, sensor: PowerSensor | None = None) -> None:
+    def __init__(
+        self,
+        device: SimulatedGPU,
+        sensor: PowerSensor | None = None,
+        trace: TraceSession | None = None,
+    ) -> None:
         self.device = device
-        self.sensor = sensor if sensor is not None else PowerSensor(device)
+        self.trace = resolve_trace(trace)
+        self.sensor = sensor if sensor is not None else PowerSensor(device, trace=trace)
         #: Start of the coarse-grained window (queue construction time).
         self.window_start_s = device.clock.now
         #: Measurements served from the analytic fallback (sensor dropout).
         self.fallback_count: int = 0
         #: Whether any measurement so far was degraded.
         self.degraded: bool = False
+        #: Coarse-grained queries over a zero-width window (no virtual time
+        #: elapsed since the window opened): answered as 0 J by definition,
+        #: without consulting the sensor.
+        self.zero_width_windows: int = 0
 
     def kernel_energy(self, event: Event, *, true_value: bool = False) -> float:
         """Energy (J) attributed to one kernel event.
@@ -48,17 +59,30 @@ class EnergyProfiler:
         if event.device is not self.device:
             raise ValidationError("event belongs to a different device")
         event.wait()
+        self.trace.count("profiler.kernel_measurements")
         if true_value:
             return self.device.energy_between(event.start_s, event.end_s)
         return self._measure(event.start_s, event.end_s)
 
     def device_energy(self, *, true_value: bool = False) -> float:
-        """Energy (J) of the whole device since the profiling window opened."""
+        """Energy (J) of the whole device since the profiling window opened.
+
+        A query before any virtual time has passed (``now`` equals the
+        window start) is a *zero-width window*: the answer is 0 J by
+        definition, the sensor is never consulted (a width-0 read would
+        degenerate to a single noisy sample), and the occurrence is
+        counted in :attr:`zero_width_windows` / the
+        ``profiler.zero_width_windows`` metric so reports can tell "no
+        energy drawn" from "no time elapsed".
+        """
         now = self.device.clock.now
+        if now <= self.window_start_s:
+            self.zero_width_windows += 1
+            self.trace.count("profiler.zero_width_windows")
+            return 0.0
+        self.trace.count("profiler.device_measurements")
         if true_value:
             return self.device.energy_between(self.window_start_s, now)
-        if now <= self.window_start_s:
-            return 0.0
         return self._measure(self.window_start_s, now)
 
     def _measure(self, t0: float, t1: float) -> float:
@@ -68,6 +92,16 @@ class EnergyProfiler:
         except TransientError as exc:
             self.fallback_count += 1
             self.degraded = True
+            if self.trace.enabled:
+                self.trace.count("profiler.fallbacks")
+                self.trace.instant(
+                    t1,
+                    f"sensor{self.device.index}",
+                    "profiler.fallback",
+                    "analytic fallback",
+                    t0=t0,
+                    t1=t1,
+                )
             injector = self.device.fault_injector
             if injector is not None:
                 injector.log.record_recovery(

@@ -25,6 +25,7 @@ from repro.core.predictor import FrequencyPredictor
 from repro.core.profiling import EnergyProfiler
 from repro.kernelir.kernel import KernelIR
 from repro.metrics.targets import EnergyTarget
+from repro.obs.session import TraceSession, resolve_trace
 from repro.sycl.event import Event
 from repro.sycl.handler import Handler
 from repro.sycl.queue import CommandGroupFn, Queue
@@ -48,6 +49,7 @@ class SynergyQueue(Queue):
         plan: FrequencyPlan | None = None,
         predictor: FrequencyPredictor | None = None,
         switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S,
+        trace: TraceSession | None = None,
     ) -> None:
         queue_clocks: tuple[int, int] | None = None
         if len(args) >= 2 and isinstance(args[0], int) and isinstance(args[1], int):
@@ -65,10 +67,12 @@ class SynergyQueue(Queue):
 
         self.plan = plan
         self.predictor = predictor
+        self.trace = resolve_trace(trace)
+        self._track = f"gpu{self.device.gpu.index}"
         self.scaler = FrequencyScaler(
-            self.device.gpu, switch_overhead_s=switch_overhead_s
+            self.device.gpu, switch_overhead_s=switch_overhead_s, trace=trace
         )
-        self.profiler = EnergyProfiler(self.device.gpu)
+        self.profiler = EnergyProfiler(self.device.gpu, trace=trace)
         self._queue_clocks = queue_clocks
         if queue_clocks is not None:
             self.device.gpu.spec.validate_clocks(*queue_clocks)
@@ -109,13 +113,37 @@ class SynergyQueue(Queue):
             )
         if not callable(cgf):
             raise ValidationError("command group must be callable")
+        tr = self.trace
         try:
-            return super().submit(cgf)
+            if not tr.enabled:
+                return super().submit(cgf)
+            with tr.span(
+                self.device.gpu.clock, self._track, "queue.submit", "submit"
+            ) as sp:
+                event = super().submit(cgf)
+                if event.record is not None:
+                    sp.set(kernel=event.record.kernel_name)
+                return event
         finally:
             self._pending = None
 
     def _pre_kernel(self, kernel: KernelIR) -> None:
         """Apply the frequency configuration just before the kernel starts."""
+        tr = self.trace
+        if not tr.enabled:
+            self._apply_clocks(kernel)
+            return
+        with tr.span(
+            self.device.gpu.clock, self._track, "queue.pre_kernel", kernel.name
+        ) as sp:
+            clocks = self._apply_clocks(kernel)
+            sp.set(
+                clocks=None if clocks is None else list(clocks),
+                degraded=self._pending_degraded,
+            )
+
+    def _apply_clocks(self, kernel: KernelIR) -> tuple[int, int] | None:
+        """Resolve and apply the pending clock request; None when there is none."""
         self._pending_degraded = False
         request = self._pending
         if isinstance(request, EnergyTarget):
@@ -125,23 +153,56 @@ class SynergyQueue(Queue):
         elif self._queue_clocks is not None:
             mem, core = self._queue_clocks
         else:
-            return
+            return None
         self.scaler.set_frequency(mem, core)
         self._pending_degraded = self.scaler.last_degraded
+        return mem, core
 
     def _post_kernel(self, kernel: KernelIR, event: Event) -> None:
-        """Tag the event when its clock request degraded to best-effort."""
-        if self._pending_degraded:
+        """Tag degraded events and record the kernel's execution window."""
+        degraded = self._pending_degraded
+        if degraded:
             self._degraded_events.add(event)
             self._pending_degraded = False
+        tr = self.trace
+        if not tr.enabled or event.record is None:
+            return
+        record = event.record
+        tr.add_span(
+            self._track,
+            "queue.kernel",
+            kernel.name,
+            event.start_s,
+            event.end_s,
+            core_mhz=record.core_mhz,
+            mem_mhz=record.mem_mhz,
+            energy_j=record.energy_j,
+            degraded=degraded,
+        )
+        tr.count("queue.kernels_executed")
+        tr.observe("kernel.time_s", record.time_s)
+        tr.observe("kernel.energy_j", record.energy_j)
 
     def _resolve_target(
         self, kernel: KernelIR, target: EnergyTarget
     ) -> tuple[int, int]:
         if self.plan is not None and self.plan.has(kernel.name, target):
+            self.trace.count("predict.plan_lookups")
             return self.plan.lookup(kernel.name, target)
         if self.predictor is not None:
-            return self.predictor.predict_frequency(kernel, target)
+            tr = self.trace
+            if not tr.enabled:
+                return self.predictor.predict_frequency(kernel, target)
+            with tr.span(
+                self.device.gpu.clock,
+                self._track,
+                "predict",
+                kernel.name,
+                target=target.name,
+            ) as sp:
+                mem, core = self.predictor.predict_frequency(kernel, target)
+                sp.set(mem_mhz=mem, core_mhz=core)
+                return mem, core
         raise ConfigurationError(
             f"kernel {kernel.name!r} submitted with target {target.name} but "
             "the queue has neither a compiled frequency plan nor a predictor"

@@ -23,12 +23,13 @@ global cache.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -257,3 +258,28 @@ def cache_report() -> dict[str, dict[str, float | int]]:
     sweep = dict(_GLOBAL_CACHE.stats.as_dict())
     sweep["entries"] = len(_GLOBAL_CACHE)
     return {"sweep": sweep, "predict_curves": dict(CURVE_STATS.as_dict())}
+
+
+@contextlib.contextmanager
+def scoped_cache(max_entries: int = 2048) -> Iterator[SweepCache]:
+    """Run a block against a fresh global cache and curve counters.
+
+    Deterministic replays (the golden-trace scenarios) need cache *state*
+    to be part of the run's inputs: a second same-seed run in a warm
+    process would otherwise see different hit/miss counts than the first.
+    Inside the block the process-global sweep cache is swapped for an
+    empty one and ``CURVE_STATS`` is zeroed; both are restored on exit.
+
+    Not thread-safe: the swap is process-global by design (call sites
+    reach the cache through module state, not parameters).
+    """
+    global _GLOBAL_CACHE
+    prev_cache = _GLOBAL_CACHE
+    prev_stats = (CURVE_STATS.hits, CURVE_STATS.misses)
+    _GLOBAL_CACHE = SweepCache(max_entries=max_entries)
+    CURVE_STATS.reset()
+    try:
+        yield _GLOBAL_CACHE
+    finally:
+        _GLOBAL_CACHE = prev_cache
+        CURVE_STATS.hits, CURVE_STATS.misses = prev_stats

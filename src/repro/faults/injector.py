@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import FaultInjectionError
 from repro.common.rng import derive_seed, make_rng
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs.session import TraceSession, resolve_trace
 
 
 class NodeFailure(FaultInjectionError):
@@ -71,9 +72,15 @@ class FaultRecord:
 
 @dataclass
 class FaultLog:
-    """Ordered record of every injected fault and recovery action."""
+    """Ordered record of every injected fault and recovery action.
+
+    With a trace session attached, every entry is mirrored as an instant
+    on the ``faults`` track and counted, so the exported timeline shows
+    injections and recovery actions in place.
+    """
 
     entries: list[FaultRecord] = field(default_factory=list)
+    trace: "TraceSession | None" = field(default=None, repr=False)
 
     def record_fault(
         self, t: float, site: str, target: object = None, detail: str = ""
@@ -82,6 +89,13 @@ class FaultLog:
         self.entries.append(
             FaultRecord(float(t), "fault", site, _target_str(target), detail)
         )
+        if self.trace is not None and self.trace.enabled:
+            self.trace.instant(
+                float(t), "faults", "fault", site,
+                target=_target_str(target), detail=detail,
+            )
+            self.trace.count("faults.injected")
+            self.trace.count(f"faults.site.{site}")
 
     def record_recovery(
         self, t: float, site: str, target: object = None, detail: str = ""
@@ -90,6 +104,12 @@ class FaultLog:
         self.entries.append(
             FaultRecord(float(t), "recovery", site, _target_str(target), detail)
         )
+        if self.trace is not None and self.trace.enabled:
+            self.trace.instant(
+                float(t), "faults", "recovery", site,
+                target=_target_str(target), detail=detail,
+            )
+            self.trace.count("faults.recoveries")
 
     @property
     def faults(self) -> tuple[FaultRecord, ...]:
@@ -120,9 +140,10 @@ def _target_str(target: object) -> str:
 class FaultInjector:
     """Evaluates a :class:`FaultPlan` against live site invocations."""
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, trace: "TraceSession | None" = None) -> None:
         self.plan = plan
-        self.log = FaultLog()
+        self.trace = resolve_trace(trace)
+        self.log = FaultLog(trace=trace)
         # One independent RNG stream per probabilistic spec, derived from
         # the plan seed + the spec's position: firing decisions for one
         # site never perturb another site's stream.

@@ -165,11 +165,11 @@ class FaultPlan:
         """All specs bound to one site."""
         return tuple(s for s in self.specs if s.site == site)
 
-    def injector(self):
+    def injector(self, trace=None):
         """Build a fresh injector (fresh RNG streams and fault log)."""
         from repro.faults.injector import FaultInjector
 
-        return FaultInjector(self)
+        return FaultInjector(self, trace=trace)
 
 
 def transient_nvml_plan(

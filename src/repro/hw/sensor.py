@@ -21,6 +21,7 @@ import numpy as np
 from repro.common.errors import TransientError, ValidationError
 from repro.common.rng import derive_seed, make_rng
 from repro.hw.device import SimulatedGPU
+from repro.obs.session import TraceSession, resolve_trace
 
 #: Default sampling interval (s): the ~15 ms hardware limitation from §4.4.
 DEFAULT_SAMPLING_INTERVAL_S: float = 15.0e-3
@@ -52,6 +53,7 @@ class PowerSensor:
         lag_fraction: float = 0.5,
         noise_std_w: float = 1.5,
         seed: int | None = None,
+        trace: TraceSession | None = None,
     ) -> None:
         if sampling_interval_s <= 0:
             raise ValidationError(
@@ -62,6 +64,8 @@ class PowerSensor:
         if noise_std_w < 0:
             raise ValidationError(f"noise std cannot be negative ({noise_std_w!r})")
         self.device = device
+        self.trace = resolve_trace(trace)
+        self._track = f"sensor{device.index}"
         self.sampling_interval_s = float(sampling_interval_s)
         self.lag_fraction = float(lag_fraction)
         self.noise_std_w = float(noise_std_w)
@@ -122,21 +126,39 @@ class PowerSensor:
         """
         samples = self.sample_window(t0, t1)
         if not samples:
+            if self.trace.enabled:
+                self.trace.instant(
+                    t1, self._track, "sensor.dropout", "window empty", t0=t0, t1=t1
+                )
+                self.trace.count("sensor.dropouts")
             raise SensorDropoutError(
                 f"sensor returned no samples in [{t0:.6f}, {t1:.6f}]s"
             )
         if len(samples) == 1:
-            return samples[0].power_w * (t1 - t0)
-        times = np.array([s.t for s in samples])
-        powers = np.array([s.power_w for s in samples])
-        # Clip the integration range to the requested window: interpolate
-        # power at the window edges from the neighbouring grid samples.
-        p0 = float(np.interp(t0, times, powers))
-        p1 = float(np.interp(t1, times, powers))
-        inside = (times > t0) & (times < t1)
-        ts = np.concatenate(([t0], times[inside], [t1]))
-        ps = np.concatenate(([p0], powers[inside], [p1]))
-        return float(np.trapezoid(ps, ts))
+            energy = samples[0].power_w * (t1 - t0)
+        else:
+            times = np.array([s.t for s in samples])
+            powers = np.array([s.power_w for s in samples])
+            # Clip the integration range to the requested window: interpolate
+            # power at the window edges from the neighbouring grid samples.
+            p0 = float(np.interp(t0, times, powers))
+            p1 = float(np.interp(t1, times, powers))
+            inside = (times > t0) & (times < t1)
+            ts = np.concatenate(([t0], times[inside], [t1]))
+            ps = np.concatenate(([p0], powers[inside], [p1]))
+            energy = float(np.trapezoid(ps, ts))
+        if self.trace.enabled:
+            self.trace.add_span(
+                self._track,
+                "sensor.window",
+                "measure",
+                t0,
+                t1,
+                n_samples=len(samples),
+                energy_j=energy,
+            )
+            self.trace.count("sensor.windows")
+        return energy
 
     def measure_average_power(self, t0: float, t1: float) -> float:
         """Sensor-estimated mean power (W) over a window."""

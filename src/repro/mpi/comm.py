@@ -25,6 +25,7 @@ from repro.common.errors import ValidationError
 from repro.faults import FaultInjector, NodeFailure, RankFailure
 from repro.hw.device import SimulatedGPU
 from repro.mpi.network import NetworkModel
+from repro.obs.session import TraceSession, resolve_trace
 
 
 class SimulatedComm:
@@ -37,6 +38,7 @@ class SimulatedComm:
         network: NetworkModel | None = None,
         node_names: list[str] | None = None,
         injector: FaultInjector | None = None,
+        trace: TraceSession | None = None,
     ) -> None:
         if not gpus:
             raise ValidationError("communicator needs at least one rank")
@@ -59,9 +61,20 @@ class SimulatedComm:
         self.node_names = list(node_names)
         #: Shared fault-injection plane (None on the happy path).
         self.injector = injector
+        #: Observability session; collectives record spans on the "mpi" track.
+        self.trace = resolve_trace(trace)
         #: Communication seconds accumulated per rank (time spent blocked
         #: in MPI beyond local compute), for the time-includes-comm report.
         self.comm_time_s = np.zeros(len(gpus))
+
+    def _record_collective(self, name: str, t0: float, t1: float, **attrs) -> None:
+        """Retroactive span for one finished collective on the mpi track."""
+        tr = self.trace
+        if not tr.enabled:
+            return
+        tr.add_span("mpi", "mpi.collective", name, t0, t1, **attrs)
+        tr.count(f"mpi.{name}s")
+        tr.observe("mpi.collective_time_s", t1 - t0)
 
     @property
     def size(self) -> int:
@@ -121,11 +134,13 @@ class SimulatedComm:
 
     def barrier(self) -> float:
         """Synchronize all ranks; returns the post-barrier time."""
+        t0 = min(g.clock.now for g in self.gpus)
         t = max(g.clock.now for g in self.gpus)
         self._check_faults(t)
         for rank, gpu in enumerate(self.gpus):
             self.comm_time_s[rank] += t - gpu.clock.now
             gpu.clock.advance_to(t)
+        self._record_collective("barrier", t0, t)
         return t
 
     def send_recv(self, src: int, dst: int, nbytes: float) -> float:
@@ -152,6 +167,9 @@ class SimulatedComm:
         if sender_done > self.gpus[src].clock.now:
             self.comm_time_s[src] += sender_done - t_src
             self.gpus[src].clock.advance_to(sender_done)
+        self._record_collective(
+            "sendrecv", max(t_src, t_dst), done, src=src, dst=dst, nbytes=nbytes
+        )
         return done
 
     def allreduce(self, nbytes: float) -> float:
@@ -163,6 +181,7 @@ class SimulatedComm:
         for rank, gpu in enumerate(self.gpus):
             self.comm_time_s[rank] += done - gpu.clock.now
             gpu.clock.advance_to(done)
+        self._record_collective("allreduce", t, done, nbytes=nbytes)
         return done
 
     def halo_exchange(self, nbytes_per_neighbor: float, ring: bool = True) -> float:
@@ -201,7 +220,11 @@ class SimulatedComm:
         for rank, gpu in enumerate(self.gpus):
             self.comm_time_s[rank] += new_times[rank] - times[rank]
             gpu.clock.advance_to(float(new_times[rank]))
-        return float(new_times.max())
+        done = float(new_times.max())
+        self._record_collective(
+            "halo", t_entry, done, nbytes_per_neighbor=nbytes_per_neighbor
+        )
+        return done
 
     # ------------------------------------------------------------- reporting
 

@@ -17,6 +17,7 @@ def launch_ranks(
     context: JobContext,
     network: NetworkModel | None = None,
     ranks_per_node: int | None = None,
+    trace=None,
 ) -> SimulatedComm:
     """Build the communicator for a running job (one rank per GPU).
 
@@ -41,10 +42,15 @@ def launch_ranks(
             node_of_rank.append(node_index)
     node_names = [node.name for node in context.nodes]
     injector = getattr(context.nodes[0], "fault_injector", None)
+    if trace is None:
+        # The scheduler stamps its session on the job context, so a traced
+        # cluster run gets a traced communicator for free.
+        trace = getattr(context, "trace", None)
     return SimulatedComm(
         gpus,
         node_of_rank,
         network=network,
         node_names=node_names,
         injector=injector,
+        trace=trace,
     )

@@ -1,0 +1,123 @@
+"""Trace and metrics exporters.
+
+Two formats, both byte-deterministic for a seeded run:
+
+- :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (open in Perfetto / ``chrome://tracing``). Virtual seconds map to
+  microseconds; each tracer *track* becomes one named thread.
+- :func:`metrics_document` — one flat JSON document with every counter,
+  gauge and histogram plus per-category span totals.
+
+Serialization goes through :func:`dump_json` (sorted keys, trailing
+newline) so the golden-trace tests can compare raw bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.session import TraceSession
+
+#: Virtual seconds → trace_event microseconds.
+_US = 1.0e6
+
+
+def _track_ids(session: TraceSession) -> dict[str, int]:
+    """Stable track → tid mapping, in first-recorded order."""
+    tids: dict[str, int] = {}
+    for sp in session.tracer.spans:
+        if sp.track not in tids:
+            tids[sp.track] = len(tids)
+    for ev in session.tracer.instants:
+        if ev.track not in tids:
+            tids[ev.track] = len(tids)
+    return tids
+
+
+def chrome_trace(session: TraceSession, metadata: dict | None = None) -> dict:
+    """The session's spans and instants as a Chrome trace_event document.
+
+    Spans become complete (``ph: "X"``) events, instants become instant
+    (``ph: "i"``) events, and every track gets a ``thread_name`` metadata
+    record. ``metadata`` lands under the top-level ``otherData`` key.
+    """
+    tids = _track_ids(session)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    for sp in session.tracer.spans:
+        t1 = sp.t0 if sp.t1 is None else sp.t1
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[sp.track],
+                "name": sp.name,
+                "cat": sp.category,
+                "ts": sp.t0 * _US,
+                "dur": (t1 - sp.t0) * _US,
+                "args": dict(sp.attrs, span_id=sp.span_id,
+                             parent_id=sp.parent_id),
+            }
+        )
+    for ev in session.tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": 0,
+                "tid": tids[ev.track],
+                "name": ev.name,
+                "cat": ev.category,
+                "ts": ev.t * _US,
+                "s": "t",
+                "args": dict(ev.attrs),
+            }
+        )
+    # Chrome sorts by ts on load; emit sorted (stable on ties, so the
+    # recording order of simultaneous events is preserved).
+    events.sort(key=lambda e: e.get("ts", -1.0))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def metrics_document(session: TraceSession, metadata: dict | None = None) -> dict:
+    """All metrics plus per-category span/instant totals, one flat doc."""
+    doc = {"kind": "metrics", "meta": dict(metadata or {})}
+    doc.update(session.metrics.as_dict())
+    doc["span_counts"] = session.tracer.span_counts()
+    doc["instant_counts"] = session.tracer.instant_counts()
+    return doc
+
+
+def dump_json(doc: dict) -> str:
+    """Deterministic serialization: sorted keys, 2-space indent, newline."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_trace_json(
+    session: TraceSession, path: str | Path, metadata: dict | None = None
+) -> Path:
+    """Write the Chrome trace document; returns the path."""
+    path = Path(path)
+    path.write_text(dump_json(chrome_trace(session, metadata)))
+    return path
+
+
+def write_metrics_json(
+    session: TraceSession, path: str | Path, metadata: dict | None = None
+) -> Path:
+    """Write the flat metrics document; returns the path."""
+    path = Path(path)
+    path.write_text(dump_json(metrics_document(session, metadata)))
+    return path

@@ -13,6 +13,7 @@ from repro.common.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.hw.device import SimulatedGPU
 from repro.hw.specs import GPUSpec
+from repro.obs.session import TraceSession, resolve_trace
 from repro.vendor.nvml import NVMLLibrary
 
 #: The GRES tag gating the paper's frequency-scaling capability.
@@ -68,7 +69,12 @@ class Node:
 class Cluster:
     """A set of nodes sharing one virtual clock."""
 
-    def __init__(self, nodes: list[Node], clock: VirtualClock) -> None:
+    def __init__(
+        self,
+        nodes: list[Node],
+        clock: VirtualClock,
+        trace: TraceSession | None = None,
+    ) -> None:
         if not nodes:
             raise ConfigurationError("cluster needs at least one node")
         names = [n.name for n in nodes]
@@ -76,6 +82,9 @@ class Cluster:
             raise ConfigurationError("duplicate node names in cluster")
         self.nodes = list(nodes)
         self.clock = clock
+        #: Observability session shared by scheduler/launcher layers.
+        self.trace = resolve_trace(trace)
+        self._raw_trace = trace
         #: Shared fault-injection plane (None on the happy path).
         self.fault_injector: FaultInjector | None = None
 
@@ -96,6 +105,7 @@ class Cluster:
         gres: set[str] | None = None,
         clock: VirtualClock | None = None,
         fault_plan: FaultPlan | None = None,
+        trace: TraceSession | None = None,
     ) -> "Cluster":
         """Provision a homogeneous cluster in production posture.
 
@@ -122,9 +132,9 @@ class Cluster:
                 gpu.set_api_restriction(True)
                 gpus.append(gpu)
             nodes.append(Node(name=f"node{i:03d}", gpus=gpus, gres=set(gres or ())))
-        cluster = cls(nodes, clk)
+        cluster = cls(nodes, clk, trace=trace)
         if fault_plan is not None:
-            cluster.attach_faults(fault_plan.injector())
+            cluster.attach_faults(fault_plan.injector(trace=trace))
         return cluster
 
     @property

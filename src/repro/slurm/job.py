@@ -72,6 +72,9 @@ class JobContext:
     job_id: int
     nodes: list["Node"]
     clock: object  # VirtualClock; typed loosely to avoid an import cycle
+    #: Observability session of the scheduler that launched the job (a
+    #: TraceSession, possibly the shared no-op); typed loosely like clock.
+    trace: object = None
 
     @property
     def gpus(self):

@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 
 from repro.common.errors import FaultInjectionError
+from repro.obs.session import TraceSession, resolve_trace
 from repro.slurm.cluster import NVGPUFREQ_GRES, Node
 from repro.slurm.job import Job
 from repro.vendor.nvml import (
@@ -54,7 +55,8 @@ class PluginDecision(enum.Enum):
 class NvGpuFreqPlugin:
     """Prologue/epilogue pair granting temporary GPU clock privileges."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace: TraceSession | None = None) -> None:
+        self.trace = resolve_trace(trace)
         #: Per (job_id, node name) prologue decisions, for tests/auditing.
         self.decisions: dict[tuple[int, str], PluginDecision] = {}
         #: Epilogue cleanup steps that could not be completed:
@@ -79,6 +81,16 @@ class NvGpuFreqPlugin:
             )
         decision = self._evaluate(job, node)
         self.decisions[(job.job_id, node.name)] = decision
+        if self.trace.enabled:
+            self.trace.instant(
+                self._node_now(node), "slurm", "plugin.decision",
+                decision.value, job_id=job.job_id, node=node.name,
+            )
+            self.trace.count(
+                "plugin.granted"
+                if decision is PluginDecision.GRANTED
+                else "plugin.denied"
+            )
         if decision is PluginDecision.GRANTED:
             self._set_restriction(node, NVML_FEATURE_DISABLED)
         return decision
@@ -167,6 +179,7 @@ class NvGpuFreqPlugin:
                     retries += 1
                     continue
                 self.cleanup_failures.append((job.job_id, node.name, index, what))
+                self.trace.count("plugin.cleanup_failures")
                 if injector is not None:
                     injector.log.record_recovery(
                         self._node_now(node),

@@ -24,6 +24,7 @@ from typing import Protocol
 
 from repro.common.errors import ConfigurationError
 from repro.faults import NodeFailure
+from repro.obs.session import TraceSession, resolve_trace
 from repro.slurm.cluster import Cluster, Node
 from repro.slurm.job import Job, JobContext, JobSpec, JobState
 
@@ -48,12 +49,16 @@ class Scheduler:
         cluster: Cluster,
         plugins: list[SchedulerPlugin] | None = None,
         max_requeues: int = 1,
+        trace: TraceSession | None = None,
     ):
         if max_requeues < 0:
             raise ConfigurationError(
                 f"max_requeues cannot be negative ({max_requeues!r})"
             )
         self.cluster = cluster
+        # Default to the cluster's session so one Cluster.build(trace=...)
+        # call wires the whole SLURM layer.
+        self.trace = cluster.trace if trace is None else resolve_trace(trace)
         self.plugins = list(plugins or [])
         self.max_requeues = int(max_requeues)
         self._job_ids = itertools.count(1)
@@ -83,11 +88,31 @@ class Scheduler:
                 )
                 break
             requeues += 1
+            self.trace.instant(
+                self.cluster.clock.now, "slurm", "slurm.requeue", spec.name,
+                prev_job_id=job.job_id,
+            )
             job = self._run_one(spec, requeue_of=job)
         return job
 
     def _run_one(self, spec: JobSpec, requeue_of: Job | None = None) -> Job:
         """Allocate, run hooks, execute the payload, account, clean up."""
+        tr = self.trace
+        if not tr.enabled:
+            return self._run_one_inner(spec, requeue_of)
+        with tr.span(
+            self.cluster.clock, "slurm", "slurm.job", spec.name,
+            requeue=requeue_of is not None,
+        ) as sp:
+            job = self._run_one_inner(spec, requeue_of)
+            sp.set(
+                job_id=job.job_id,
+                state=job.state.value,
+                gpu_energy_j=job.gpu_energy_j,
+            )
+            return job
+
+    def _run_one_inner(self, spec: JobSpec, requeue_of: Job | None = None) -> Job:
         job = Job(
             job_id=next(self._job_ids),
             spec=spec,
@@ -123,10 +148,17 @@ class Scheduler:
             # the §7.2 guarantee that no node leaks a degraded state.
             for plugin in self.plugins:
                 for node in nodes:
-                    plugin.prologue(job, node)
+                    with self.trace.span(
+                        self.cluster.clock, "slurm", "slurm.prologue",
+                        node.name, job_id=job.job_id,
+                    ):
+                        plugin.prologue(job, node)
             if spec.payload is not None:
                 context = JobContext(
-                    job_id=job.job_id, nodes=nodes, clock=self.cluster.clock
+                    job_id=job.job_id,
+                    nodes=nodes,
+                    clock=self.cluster.clock,
+                    trace=self.trace,
                 )
                 job.result = spec.payload(context)
             job.state = JobState.COMPLETED
@@ -152,7 +184,11 @@ class Scheduler:
             job.gpu_energy_j = self._account_energy(job)
             for plugin in self.plugins:
                 for node in nodes:
-                    plugin.epilogue(job, node)
+                    with self.trace.span(
+                        self.cluster.clock, "slurm", "slurm.epilogue",
+                        node.name, job_id=job.job_id,
+                    ):
+                        plugin.epilogue(job, node)
             for node in nodes:
                 node.running_job = None
                 node.exclusive = False
@@ -175,6 +211,10 @@ class Scheduler:
         for name in node_names:
             node = self.cluster.get_node(name)
             node.down = True
+            self.trace.instant(
+                self.cluster.clock.now, "slurm", "slurm.drain", name,
+                job_id=job.job_id,
+            )
             if injector is not None:
                 for gpu in node.gpus:
                     injector.mark_device_lost(gpu.index)

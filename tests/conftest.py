@@ -13,6 +13,16 @@ from repro.kernelir.microbench import generate_microbenchmarks
 from repro.sycl.device import set_default_device
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace/metrics snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _clean_default_device():
     """Never leak the default SYCL device between tests."""

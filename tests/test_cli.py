@@ -1,8 +1,36 @@
 """Command-line interface."""
 
+import argparse
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+
+#: Every subcommand the CLI exposes; the completeness test below fails when a
+#: new subparser is registered without being added here (and thus without a
+#: smoke test).
+ALL_SUBCOMMANDS = [
+    "devices",
+    "characterize",
+    "sweep",
+    "train",
+    "compile",
+    "accuracy",
+    "scaling",
+    "faults",
+    "perf",
+    "fine-vs-coarse",
+    "trace",
+]
+
+
+def _registered_subcommands() -> list[str]:
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return list(action.choices)
+    raise AssertionError("CLI parser has no subparsers")
 
 
 def test_devices(capsys):
@@ -78,3 +106,107 @@ def test_accuracy_small(capsys):
     out = capsys.readouterr().out
     assert "Table 2" in out
     assert "MAX_PERF" in out
+
+
+# ------------------------------------------------------- smoke: completeness
+
+def test_every_subcommand_is_known():
+    assert sorted(_registered_subcommands()) == sorted(ALL_SUBCOMMANDS)
+
+
+@pytest.mark.parametrize("name", ALL_SUBCOMMANDS)
+def test_subcommand_help_exits_zero(name, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([name, "--help"])
+    assert exc.value.code == 0
+    assert "usage" in capsys.readouterr().out
+
+
+def test_no_command_exits_with_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+    assert "usage" in capsys.readouterr().err
+
+
+# ----------------------------------------------------- smoke: faults / perf
+
+def test_faults_zero_rate_writes_chaos_json(tmp_path, capsys):
+    out = tmp_path / "chaos.json"
+    assert main(["faults", "--rates", "0.0", "--steps", "1",
+                 "--target", "default", "--json", str(out)]) == 0
+    assert "chaos sweep" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["kind"] == "chaos_sweep"
+    assert doc["points"][0]["fault_rate"] == 0.0
+    assert doc["points"][0]["state"] == "COMPLETED"
+
+
+def test_perf_quick_writes_report_json(tmp_path, capsys):
+    out = tmp_path / "perf.json"
+    assert main(["perf", "--quick", "--json", str(out)]) == 0
+    assert "fast path" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["sections"]
+    assert {"name", "baseline_s", "fast_s", "speedup"} <= set(doc["sections"][0])
+    assert doc["forest_deterministic"] is True
+
+
+# -------------------------------------------------------------- smoke: trace
+
+def test_trace_writes_trace_and_metrics_json(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["trace", "single-gpu", "--out", str(trace_path),
+                 "--metrics", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Recorded events" in out and "queue.kernel" in out
+
+    trace = json.loads(trace_path.read_text())
+    assert trace["displayTimeUnit"] == "ms"
+    assert trace["otherData"] == {"scenario": "single-gpu", "seed": 7}
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["kind"] == "metrics"
+    assert metrics["counters"]["queue.kernels"] > 0
+    assert metrics["span_counts"]["queue.kernel"] > 0
+
+
+def test_trace_without_metrics_flag_writes_only_trace(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(["trace", "single-gpu", "--seed", "3",
+                 "--out", str(trace_path)]) == 0
+    doc = json.loads(trace_path.read_text())
+    assert doc["otherData"]["seed"] == 3
+    assert not (tmp_path / "metrics.json").exists()
+
+
+# ------------------------------------------------------------- bad arguments
+
+def test_trace_unknown_scenario_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "warp-drive"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_characterize_unknown_device_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["characterize", "--device", "h100"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_compile_missing_required_bundle_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["compile", "--benchmarks", "gemm"])
+    assert exc.value.code == 2
+    assert "--bundle" in capsys.readouterr().err
+
+
+def test_sweep_unknown_benchmark_raises():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="unknown SYCL benchmark"):
+        main(["sweep", "--benchmark", "nope", "--targets", "MIN_EDP"])

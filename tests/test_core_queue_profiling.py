@@ -50,6 +50,41 @@ class TestListing1Profiling:
         kernel_energy = queue.events[0].record.energy_j
         assert device_energy > kernel_energy
 
+    def test_device_energy_zero_width_window_is_zero_and_counted(
+        self, queue, v100
+    ):
+        """A query before any virtual time passes is 0 J, not a sensor read."""
+        profiler = queue.profiler
+        assert queue.device_energy_consumption() == 0.0
+        assert queue.device_energy_consumption(true_value=True) == 0.0
+        assert profiler.zero_width_windows == 2
+        assert profiler.fallback_count == 0
+        assert not profiler.degraded
+
+    def test_reset_window_reopens_zero_width_state(self, queue, kernel, v100):
+        profiler = queue.profiler
+        queue.parallel_for(kernel.work_items, kernel)
+        assert queue.device_energy_consumption(true_value=True) > 0.0
+        assert profiler.zero_width_windows == 0
+        profiler.reset_window()
+        assert queue.device_energy_consumption() == 0.0
+        assert profiler.zero_width_windows == 1
+        v100.clock.advance(0.05)
+        assert queue.device_energy_consumption(true_value=True) > 0.0
+        assert profiler.zero_width_windows == 1
+
+    def test_zero_width_window_is_counted_in_metrics_when_traced(
+        self, kernel, v100
+    ):
+        from repro.obs.session import TraceSession
+
+        trace = TraceSession()
+        queue = SynergyQueue(v100, trace=trace)
+        queue.device_energy_consumption()
+        counter = trace.metrics.counter("profiler.zero_width_windows")
+        assert counter.value == 1
+        assert queue.profiler.zero_width_windows == 1
+
     def test_kernel_energy_rejects_foreign_event(self, queue, kernel):
         other_gpu_queue = SynergyQueue(
             __import__("repro.hw", fromlist=["SimulatedGPU"]).SimulatedGPU(

@@ -1,0 +1,134 @@
+"""Golden-trace regression tests for the observability plane.
+
+Each seeded scenario must export byte-identical Chrome trace and metrics
+documents on every run, and those bytes must match the snapshots under
+``tests/golden/``. To refresh the snapshots after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_obs_golden.py --update-golden
+
+then review and commit the diff (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import chrome_trace, dump_json, metrics_document
+from repro.obs.scenarios import SCENARIOS, run_scenario
+
+pytestmark = pytest.mark.obs
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Span categories every instrumented site must contribute across the
+#: scenario suite (the acceptance bar of the tracing plane).
+EXPECTED_SPAN_CATEGORIES = {
+    "queue.submit",
+    "queue.pre_kernel",
+    "queue.kernel",
+    "freq.set",
+    "sensor.window",
+    "predict",
+    "slurm.job",
+    "slurm.prologue",
+    "slurm.epilogue",
+    "mpi.collective",
+}
+
+EXPECTED_INSTANT_CATEGORIES = {
+    "freq.reset",
+    "freq.retry",
+    "plugin.decision",
+    "fault",
+    "recovery",
+}
+
+
+def _render(name: str) -> tuple[object, str, str]:
+    session = run_scenario(name)
+    meta = {"scenario": name, "seed": 7}
+    return (
+        session,
+        dump_json(chrome_trace(session, meta)),
+        dump_json(metrics_document(session, meta)),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_two_same_seed_runs_are_byte_identical(name):
+    _, trace1, metrics1 = _render(name)
+    _, trace2, metrics2 = _render(name)
+    assert trace1 == trace2
+    assert metrics1 == metrics2
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_export_matches_golden_snapshot(name, request):
+    session, trace_doc, metrics_doc = _render(name)
+    assert session.tracer.open_spans() == []
+    trace_path = GOLDEN_DIR / f"{name}.trace.json"
+    metrics_path = GOLDEN_DIR / f"{name}.metrics.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        trace_path.write_text(trace_doc)
+        metrics_path.write_text(metrics_doc)
+        pytest.skip(f"golden snapshots for {name!r} rewritten")
+    assert trace_doc == trace_path.read_text(), (
+        f"trace export for {name!r} drifted from {trace_path}; if the "
+        "change is intentional, re-run with --update-golden"
+    )
+    assert metrics_doc == metrics_path.read_text(), (
+        f"metrics export for {name!r} drifted from {metrics_path}; if the "
+        "change is intentional, re-run with --update-golden"
+    )
+
+
+def test_every_instrumented_category_appears():
+    """A traced end-to-end run records >0 events per site category."""
+    span_cats: set[str] = set()
+    instant_cats: set[str] = set()
+    for name in SCENARIOS:
+        session = run_scenario(name)
+        counts = session.tracer.span_counts()
+        assert counts, f"scenario {name!r} recorded no spans"
+        span_cats |= set(counts)
+        instant_cats |= set(session.tracer.instant_counts())
+    missing = EXPECTED_SPAN_CATEGORIES - span_cats
+    assert not missing, f"span categories never recorded: {sorted(missing)}"
+    missing = EXPECTED_INSTANT_CATEGORIES - instant_cats
+    assert not missing, f"instant categories never recorded: {sorted(missing)}"
+
+
+def test_tracing_disabled_by_default_records_nothing(v100):
+    """Without an explicit trace, hot paths see the shared no-op session."""
+    from repro.core.queue import SynergyQueue
+    from repro.obs.session import NULL_TRACE
+
+    queue = SynergyQueue(v100)
+    assert queue.trace is NULL_TRACE
+    assert not queue.trace.enabled
+    with queue.trace.span(v100.clock, "gpu0", "cat", "noop") as sp:
+        sp.set(ignored=True)
+    queue.trace.count("ignored")
+    queue.trace.instant(0.0, "gpu0", "cat", "noop")
+    assert NULL_TRACE.tracer.spans == []
+    assert NULL_TRACE.tracer.instants == []
+    assert NULL_TRACE.metrics.as_dict() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }
+
+
+def test_trace_document_shape():
+    """Chrome trace_event essentials: metadata threads, sorted timestamps."""
+    _, trace_doc, _ = _render("single-gpu")
+    import json
+
+    doc = json.loads(trace_doc)
+    events = doc["traceEvents"]
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert {"gpu0", "sensor0"} <= names
+    stamps = [e["ts"] for e in events if e["ph"] in ("X", "i")]
+    assert stamps == sorted(stamps)
+    assert all(e["dur"] >= 0.0 for e in events if e["ph"] == "X")
