@@ -18,3 +18,6 @@ else
     echo "== coverage not installed; running plain pytest =="
     python -m pytest -x -q "$@"
 fi
+
+echo "== validation plane (invariants + differentials, strict) =="
+python -m repro.cli validate --strict

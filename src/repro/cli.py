@@ -15,7 +15,10 @@ exposes the deployment and analysis workflows:
 - ``perf`` — benchmark the vectorized fast paths against their scalar
   baselines and write ``BENCH_perf.json``,
 - ``trace`` — run a seeded observability scenario and export its Chrome
-  trace and metrics documents (see ``docs/OBSERVABILITY.md``).
+  trace and metrics documents (see ``docs/OBSERVABILITY.md``),
+- ``validate`` — run the invariant catalog and differential harness over
+  the golden scenarios (see ``docs/VALIDATION.md``); ``--strict`` also
+  fails on warnings and is the CI gate in ``scripts/check.sh``.
 """
 
 from __future__ import annotations
@@ -379,6 +382,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.runner import GOLDEN_SCENARIOS, run_validation
+
+    scenarios = tuple(args.scenario) if args.scenario else GOLDEN_SCENARIOS
+    only = tuple(args.only) if args.only else None
+    print(
+        f"running validation (scenarios={list(scenarios)}, "
+        f"sections={list(only) if only else 'all'}, seed={args.seed}) ...",
+        file=sys.stderr,
+    )
+    report = run_validation(scenarios, seed=args.seed, only=only)
+    # One row per check name: the catalog view; individual failures follow.
+    by_name: dict[str, list] = {}
+    for r in report.results:
+        by_name.setdefault(r.name, []).append(r)
+    rows = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        bad = [r for r in group if not r.passed]
+        rows.append([name, len(group), len(group) - len(bad),
+                     "ok" if not bad else bad[0].status.upper()])
+    print(
+        format_table(
+            ["check", "runs", "passed", "verdict"],
+            rows,
+            title=f"Validation plane ({len(report.results)} checks)",
+        )
+    )
+    for r in report.results:
+        if not r.passed:
+            print(f"{r.status:>4}  {r.name}: {r.detail}")
+    if args.json:
+        write_json(report.as_dict(), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    ok = report.ok(strict=args.strict)
+    print(f"validation {'passed' if ok else 'FAILED'} "
+          f"({len(report.failures)} failures, {len(report.warnings)} warnings"
+          f"{', strict' if args.strict else ''})")
+    return 0 if ok else 1
+
+
 def _cmd_fine_vs_coarse(args: argparse.Namespace) -> int:
     spec = get_spec(args.device)
     kernels = [
@@ -510,6 +554,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None,
                    help="also write the flat metrics document here")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("validate", help="run the invariant & differential "
+                       "validation plane")
+    from repro.validate.runner import SECTIONS
+
+    p.add_argument("--scenario", nargs="+", choices=sorted(SCENARIOS),
+                   default=None,
+                   help="golden scenarios to replay (default: all)")
+    p.add_argument("--only", nargs="+", choices=SECTIONS, default=None,
+                   help="restrict to these report sections")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on warnings too (the CI contract)")
+    p.add_argument("--seed", type=int, default=7, help="seeded-case seed")
+    p.add_argument("--json", default=None,
+                   help="export the full report to a JSON file")
+    p.set_defaults(fn=_cmd_validate)
 
     return parser
 

@@ -27,6 +27,7 @@ from repro.kernelir.kernel import KernelIR
 from repro.metrics.targets import EnergyTarget
 from repro.obs.session import TraceSession, resolve_trace
 from repro.sycl.event import Event
+from repro.validate.inline import InlineValidator, resolve_validator
 from repro.sycl.handler import Handler
 from repro.sycl.queue import CommandGroupFn, Queue
 
@@ -50,6 +51,7 @@ class SynergyQueue(Queue):
         predictor: FrequencyPredictor | None = None,
         switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S,
         trace: TraceSession | None = None,
+        validate: InlineValidator | bool | None = None,
     ) -> None:
         queue_clocks: tuple[int, int] | None = None
         if len(args) >= 2 and isinstance(args[0], int) and isinstance(args[1], int):
@@ -68,6 +70,8 @@ class SynergyQueue(Queue):
         self.plan = plan
         self.predictor = predictor
         self.trace = resolve_trace(trace)
+        #: Opt-in inline invariant checks (no-op by default, like the trace).
+        self.validator = resolve_validator(validate)
         self._track = f"gpu{self.device.gpu.index}"
         self.scaler = FrequencyScaler(
             self.device.gpu, switch_overhead_s=switch_overhead_s, trace=trace
@@ -164,6 +168,8 @@ class SynergyQueue(Queue):
         if degraded:
             self._degraded_events.add(event)
             self._pending_degraded = False
+        if self.validator.enabled:
+            self.validator.check_kernel_event(self.device.gpu, event)
         tr = self.trace
         if not tr.enabled or event.record is None:
             return

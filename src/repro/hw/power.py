@@ -91,3 +91,12 @@ class PowerModel:
                 self.spec.max_core_mhz, self.spec.mem_freqs_mhz[-1], 1.0, 1.0
             )
         )
+
+    def power_bounds(self) -> tuple[float, float]:
+        """The reachable ``[P_idle, P_peak]`` average-power envelope (W).
+
+        Any measured or modeled average kernel power must land in this
+        interval — the physical sanity bound the validation plane checks
+        every sweep against.
+        """
+        return self.spec.idle_power_w, self.peak_power()

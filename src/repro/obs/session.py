@@ -146,6 +146,22 @@ def absorb_fault_log(trace: TraceSession, log) -> None:
         m.counter(f"faults.site.{site}").value = n
 
 
+def absorb_validation(trace: TraceSession, report) -> None:
+    """Pull a ValidationReport's verdict into the metrics plane.
+
+    Counters for checks run / hard failures / warnings plus a 0-or-1
+    ``validate.passed`` gauge, so an exported metrics document carries
+    the invariant-plane verdict alongside the physics it validated.
+    """
+    if not trace.enabled:
+        return
+    m = trace.metrics
+    m.counter("validate.checks").value = len(report.results)
+    m.counter("validate.failures").value = len(report.failures)
+    m.counter("validate.warnings").value = len(report.warnings)
+    m.set_gauge("validate.passed", 1.0 if report.passed else 0.0)
+
+
 def absorb_scheduler(trace: TraceSession, scheduler) -> None:
     """Pull scheduler job-state totals (incl. requeues) into metrics."""
     if not trace.enabled:

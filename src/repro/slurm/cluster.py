@@ -14,6 +14,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.hw.device import SimulatedGPU
 from repro.hw.specs import GPUSpec
 from repro.obs.session import TraceSession, resolve_trace
+from repro.validate.inline import InlineValidator, resolve_validator
 from repro.vendor.nvml import NVMLLibrary
 
 #: The GRES tag gating the paper's frequency-scaling capability.
@@ -87,6 +88,8 @@ class Cluster:
         self._raw_trace = trace
         #: Shared fault-injection plane (None on the happy path).
         self.fault_injector: FaultInjector | None = None
+        #: Inline invariant hook (the shared no-op unless ``build(validate=)``).
+        self.validator: InlineValidator = resolve_validator(None)
 
     def attach_faults(self, injector: FaultInjector) -> None:
         """Thread a fault injector through every node and board."""
@@ -106,6 +109,7 @@ class Cluster:
         clock: VirtualClock | None = None,
         fault_plan: FaultPlan | None = None,
         trace: TraceSession | None = None,
+        validate: InlineValidator | bool | None = None,
     ) -> "Cluster":
         """Provision a homogeneous cluster in production posture.
 
@@ -113,6 +117,10 @@ class Cluster:
         clocks) and driver-default clocks — the state §2.3 describes for
         large installations. A ``fault_plan`` arms the chaos plane: its
         injector is attached to the cluster, every node and every board.
+        ``validate`` opts into the inline invariant hook: the provisioning
+        posture is checked immediately and the validator is kept on
+        :attr:`Cluster.validator` for downstream layers (no-op by default,
+        like the trace).
         """
         if n_nodes < 1 or gpus_per_node < 1:
             raise ConfigurationError(
@@ -135,6 +143,9 @@ class Cluster:
         cluster = cls(nodes, clk, trace=trace)
         if fault_plan is not None:
             cluster.attach_faults(fault_plan.injector(trace=trace))
+        cluster.validator = resolve_validator(validate)
+        if cluster.validator.enabled:
+            cluster.validator.check_cluster(cluster)
         return cluster
 
     @property

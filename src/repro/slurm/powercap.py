@@ -24,6 +24,35 @@ from repro.slurm.cluster import Node
 from repro.slurm.job import Job
 
 
+def _water_fill(
+    values: np.ndarray,
+    indices: np.ndarray,
+    limits: np.ndarray,
+    pool: float,
+    tol: float,
+) -> float:
+    """Split ``pool`` evenly over ``values[indices]`` up to per-index limits.
+
+    Recipients that hit their limit drop out and their undistributed share
+    is re-split over the rest (the §2.3 "redistributes that power" rule,
+    made exact). Returns whatever could not be placed. Each pass either
+    saturates a recipient or drains the pool, so it terminates in at most
+    ``indices.size`` passes.
+    """
+    idx = indices
+    while pool > tol and idx.size:
+        share = pool / idx.size
+        headroom = limits[idx] - values[idx]
+        grant = np.minimum(share, np.maximum(headroom, 0.0))
+        values[idx] += grant
+        pool -= float(np.sum(grant))
+        unsaturated = headroom - grant > tol
+        if np.all(unsaturated):
+            break  # everyone took a full share: the pool is drained
+        idx = idx[unsaturated]
+    return max(pool, 0.0)
+
+
 def redistribute_caps(
     caps_w: list[float],
     usage_w: list[float],
@@ -37,7 +66,10 @@ def redistribute_caps(
     headroom above usage (never dropping below ``floor_w``); the pooled
     donation is split evenly among nodes at ``>= (1 - threshold)`` of
     their cap, each clipped to ``ceiling_w``. Total budget is conserved
-    up to ceiling clipping.
+    exactly: when no node is hungry the step is the identity (nobody can
+    receive, so nobody sheds), and any donation the ceiling clips away is
+    returned to the donors — never above the cap they entered with, so
+    every cap stays in ``[floor_w, ceiling_w]``.
     """
     if len(caps_w) != len(usage_w):
         raise ValidationError(
@@ -56,14 +88,29 @@ def redistribute_caps(
 
     under = usage < (1.0 - threshold) * caps
     hungry = ~under
+    if not np.any(hungry) or not np.any(under):
+        # Nobody to receive (or nobody to donate): shedding budget here
+        # would silently shrink the system total.
+        return [float(c) for c in caps]
     new_caps = caps.copy()
     # Donors keep a small margin above their current usage.
     donor_target = np.maximum(usage * (1.0 + threshold), floor_w)
-    donation = np.sum(np.where(under, caps - donor_target, 0.0))
-    new_caps[under] = donor_target[under]
-    if donation > 0 and np.any(hungry):
-        share = donation / int(np.sum(hungry))
-        new_caps[hungry] = np.minimum(caps[hungry] + share, ceiling_w)
+    donors = np.flatnonzero(under)
+    donation = float(np.sum(caps[donors] - donor_target[donors]))
+    new_caps[donors] = donor_target[donors]
+    tol = max(1e-9, 1e-12 * float(np.sum(caps)))
+    leftover = _water_fill(
+        new_caps,
+        np.flatnonzero(hungry),
+        np.full(caps.size, ceiling_w),
+        donation,
+        tol,
+    )
+    if leftover > tol:
+        # Every hungry node is pinned at the ceiling: re-spill the clipped
+        # remainder back to the donors (their original caps bound the
+        # refund, so the fill always places all of it).
+        _water_fill(new_caps, donors, caps, leftover, tol)
     return [float(c) for c in new_caps]
 
 
@@ -85,13 +132,28 @@ class PowerCapPlugin:
         self.applied: dict[tuple[int, str], float] = {}
 
     def prologue(self, job: Job, node: Node) -> None:
-        """Split the node budget across boards and apply the limits."""
+        """Split the node budget across boards and apply the limits.
+
+        The audit trail records the limit actually *set* on the boards
+        (after clamping into each board's valid range), not the raw
+        per-GPU budget — the two diverge exactly when clamping engages,
+        and an audit that reports the unclamped budget lies about what
+        the hardware enforced. On a node with mixed boards the most
+        restrictive applied limit is recorded.
+        """
+        if node.gpu_count == 0:
+            raise ValidationError(
+                f"node {node.name!r} has no GPUs to split the "
+                f"{self.node_budget_w} W budget across"
+            )
         per_gpu = self.node_budget_w / node.gpu_count
+        applied: list[float] = []
         for gpu in node.gpus:
             # Clamp into the board's valid limit range.
             limit = min(max(per_gpu, gpu.spec.idle_power_w), gpu.default_power_limit_w)
             gpu.set_power_limit(limit, privileged=True)
-        self.applied[(job.job_id, node.name)] = per_gpu
+            applied.append(limit)
+        self.applied[(job.job_id, node.name)] = min(applied)
 
     def epilogue(self, job: Job, node: Node) -> None:
         """Restore factory power limits on every board."""

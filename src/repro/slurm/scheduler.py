@@ -159,6 +159,7 @@ class Scheduler:
                     nodes=nodes,
                     clock=self.cluster.clock,
                     trace=self.trace,
+                    validator=self.cluster.validator,
                 )
                 job.result = spec.payload(context)
             job.state = JobState.COMPLETED

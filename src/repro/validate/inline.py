@@ -1,0 +1,234 @@
+"""Opt-in inline invariant checks (the ``validate=`` debug hook).
+
+:class:`InlineValidator` is threaded through
+:class:`~repro.core.queue.SynergyQueue` and
+:meth:`~repro.slurm.cluster.Cluster.build` the same way a
+:class:`~repro.obs.session.TraceSession` is: components store
+``resolve_validator(validate)`` — either a live validator or the shared
+no-op :data:`NULL_VALIDATOR` — and guard the (cheap) checks with
+``if validator.enabled:`` so the uninstrumented fast paths pay one
+attribute read and nothing else.
+
+The inline checks are the subset of the invariant catalog that can be
+evaluated per event without re-running anything: energy–power–time
+consistency of each kernel record, clock membership in the device tables,
+power staying under the active limit, and virtual-time monotonicity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ValidationError
+from repro.validate.result import CheckResult, Severity
+
+
+class InlineValidator:
+    """Accumulates inline check failures; optionally raises on the spot.
+
+    ``strict=True`` (the default) raises :class:`ValidationError` at the
+    first violated invariant — the debugging posture, failing at the
+    exact submission that broke physics. ``strict=False`` only records
+    failures for later inspection via :attr:`failures`.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, *, strict: bool = True, rtol: float = 1e-6) -> None:
+        self.strict = strict
+        self.rtol = float(rtol)
+        self.checks_run: int = 0
+        self.failures: list[CheckResult] = []
+        # Per-device high-water mark of event end times (virtual-time
+        # monotonicity per hardware queue).
+        self._last_end: dict[int, float] = {}
+
+    def _record(self, name: str, condition: bool, detail: str = "") -> bool:
+        self.checks_run += 1
+        if condition:
+            return True
+        self.failures.append(
+            CheckResult(name, False, detail, Severity.ERROR)
+        )
+        if self.strict:
+            raise ValidationError(
+                f"inline invariant violated: {name}: {detail}"
+            )
+        return False
+
+    # ------------------------------------------------------------ queue side
+
+    def check_kernel_event(self, gpu, event) -> None:
+        """Validate one executed kernel's record against the device physics.
+
+        Called from ``SynergyQueue._post_kernel`` when enabled. ``gpu`` is
+        the :class:`~repro.hw.device.SimulatedGPU` the event ran on.
+        """
+        record = event.record
+        if record is None:
+            return
+        tol = self.rtol
+        self._record(
+            "inline.event_window",
+            0.0 <= event.start_s <= event.end_s,
+            f"event window [{event.start_s!r}, {event.end_s!r}] out of order",
+        )
+        self._record(
+            "inline.kernel_time_positive",
+            record.time_s > 0.0 and math.isfinite(record.time_s),
+            f"kernel {record.kernel_name!r} has non-positive time "
+            f"{record.time_s!r}",
+        )
+        self._record(
+            "inline.kernel_energy_positive",
+            record.energy_j > 0.0 and math.isfinite(record.energy_j),
+            f"kernel {record.kernel_name!r} has non-positive energy "
+            f"{record.energy_j!r}",
+        )
+        # Energy–power–time consistency: e = P̄·t within tolerance.
+        expected = record.avg_power_w * record.time_s
+        scale = max(abs(expected), abs(record.energy_j), 1e-12)
+        self._record(
+            "inline.energy_power_time",
+            abs(record.energy_j - expected) <= tol * scale,
+            f"kernel {record.kernel_name!r}: energy {record.energy_j!r} J != "
+            f"avg_power*time {expected!r} J",
+        )
+        spec = gpu.spec
+        self._record(
+            "inline.core_clock_in_table",
+            record.core_mhz in spec.core_freqs_mhz,
+            f"kernel {record.kernel_name!r} ran at core clock "
+            f"{record.core_mhz} MHz, not in the {spec.name} table",
+        )
+        self._record(
+            "inline.mem_clock_in_table",
+            record.mem_mhz in spec.mem_freqs_mhz,
+            f"kernel {record.kernel_name!r} ran at memory clock "
+            f"{record.mem_mhz} MHz, not in the {spec.name} table",
+        )
+        self._record(
+            "inline.power_under_limit",
+            record.avg_power_w <= gpu.power_limit_w * (1.0 + tol),
+            f"kernel {record.kernel_name!r} averaged {record.avg_power_w!r} W "
+            f"above the active limit {gpu.power_limit_w!r} W",
+        )
+        last = self._last_end.get(gpu.index, 0.0)
+        if self._record(
+            "inline.monotone_event_clock",
+            event.end_s >= last,
+            f"event on gpu{gpu.index} ends at {event.end_s!r} s, before the "
+            f"previous event's end {last!r} s",
+        ):
+            self._last_end[gpu.index] = event.end_s
+
+    # ---------------------------------------------------------- cluster side
+
+    def check_cluster(self, cluster) -> None:
+        """Validate a freshly provisioned cluster's production posture.
+
+        Called from ``Cluster.build`` when enabled: unique board indices,
+        API restriction armed on every board, clocks at driver defaults,
+        and every board clock aligned with the cluster wall clock.
+        """
+        indices = [g.index for node in cluster.nodes for g in node.gpus]
+        self._record(
+            "inline.unique_board_indices",
+            len(set(indices)) == len(indices),
+            f"duplicate board indices in cluster: {sorted(indices)}",
+        )
+        for node in cluster.nodes:
+            for gpu in node.gpus:
+                board = f"{node.name}/gpu{gpu.index}"
+                self._record(
+                    "inline.api_restricted",
+                    gpu.api_restricted,
+                    f"{board} provisioned without API restriction",
+                )
+                self._record(
+                    "inline.default_clocks",
+                    gpu.core_mhz == gpu.spec.default_core_mhz
+                    and gpu.mem_mhz == gpu.spec.default_mem_mhz,
+                    f"{board} provisioned at ({gpu.mem_mhz}, {gpu.core_mhz}) "
+                    "MHz, not driver defaults",
+                )
+                self._record(
+                    "inline.board_clock_aligned",
+                    gpu.clock.now == cluster.clock.now,
+                    f"{board} clock at {gpu.clock.now!r} s, cluster at "
+                    f"{cluster.clock.now!r} s",
+                )
+
+
+    # -------------------------------------------------------------- mpi side
+
+    def check_rank_binding(self, comm, context) -> None:
+        """Validate an MPI communicator's rank→board binding at launch.
+
+        Called from :func:`repro.mpi.launcher.launch_ranks` when the job
+        context carries an enabled validator: one rank per bound board,
+        node-major ordering, no board bound twice, and every rank's board
+        actually living on the node it is bound to.
+        """
+        self._record(
+            "inline.rank_per_board",
+            len(comm.gpus) == len(comm.node_of_rank) == comm.size,
+            f"{comm.size} ranks but {len(comm.gpus)} boards / "
+            f"{len(comm.node_of_rank)} node bindings",
+        )
+        self._record(
+            "inline.node_major_binding",
+            all(
+                a <= b
+                for a, b in zip(comm.node_of_rank, comm.node_of_rank[1:])
+            ),
+            f"rank→node map {comm.node_of_rank} is not node-major",
+        )
+        self._record(
+            "inline.boards_bound_once",
+            len({id(g) for g in comm.gpus}) == len(comm.gpus),
+            "a board is bound to more than one rank",
+        )
+        self._record(
+            "inline.rank_on_allocated_node",
+            all(
+                0 <= n < len(context.nodes)
+                and any(g is gpu for g in context.nodes[n].gpus)
+                for gpu, n in zip(comm.gpus, comm.node_of_rank)
+            ),
+            "a rank is bound to a board outside its node's allocation",
+        )
+
+
+class _NullValidator(InlineValidator):
+    """The default: every check is a no-op behind ``enabled = False``."""
+
+    enabled = False
+
+    def check_kernel_event(self, gpu, event) -> None:  # pragma: no cover
+        pass
+
+    def check_cluster(self, cluster) -> None:  # pragma: no cover
+        pass
+
+    def check_rank_binding(self, comm, context) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared "validation off" instance installed everywhere by default.
+NULL_VALIDATOR = _NullValidator()
+
+
+def resolve_validator(
+    validate: "InlineValidator | bool | None",
+) -> InlineValidator:
+    """Map a component's ``validate`` argument to a validator.
+
+    ``None``/``False`` → the shared no-op; ``True`` → a fresh strict
+    validator; an :class:`InlineValidator` → that instance.
+    """
+    if isinstance(validate, InlineValidator):
+        return validate
+    if validate:
+        return InlineValidator()
+    return NULL_VALIDATOR

@@ -1,0 +1,124 @@
+"""Check results and the validation report.
+
+Every checker in :mod:`repro.validate` returns one or more
+:class:`CheckResult` rows; a :class:`ValidationReport` aggregates them,
+decides the pass/fail verdict under the ``--strict`` contract and exports
+the totals through the :mod:`repro.obs` metrics plane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a failed check affects the verdict.
+
+    ``ERROR`` failures always fail validation. ``WARNING`` failures are
+    physically plausible deviations (e.g. an energy minimum sitting on the
+    edge of the frequency table for an exotic kernel); they only fail
+    under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant or differential check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    severity: Severity = Severity.ERROR
+
+    @property
+    def status(self) -> str:
+        """Human-readable verdict cell: ``ok`` / ``FAIL`` / ``warn``."""
+        if self.passed:
+            return "ok"
+        return "FAIL" if self.severity is Severity.ERROR else "warn"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for JSON export."""
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "severity": self.severity.value,
+            "detail": self.detail,
+        }
+
+
+def passed(name: str, detail: str = "") -> CheckResult:
+    """A passing check row."""
+    return CheckResult(name, True, detail)
+
+
+def failed(
+    name: str, detail: str, severity: Severity = Severity.ERROR
+) -> CheckResult:
+    """A failing check row."""
+    return CheckResult(name, False, detail, severity)
+
+
+def check(
+    name: str,
+    condition: bool,
+    detail: str = "",
+    severity: Severity = Severity.ERROR,
+) -> CheckResult:
+    """One check row from a boolean condition (detail kept either way)."""
+    return CheckResult(name, bool(condition), detail, severity)
+
+
+@dataclass
+class ValidationReport:
+    """All check rows of one validation run, plus the verdict logic."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    def add(self, *results: CheckResult) -> None:
+        self.results.extend(results)
+
+    def extend(self, results: list[CheckResult]) -> None:
+        self.results.extend(results)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        """Failed error-severity checks (always fatal)."""
+        return [
+            r for r in self.results
+            if not r.passed and r.severity is Severity.ERROR
+        ]
+
+    @property
+    def warnings(self) -> list[CheckResult]:
+        """Failed warning-severity checks (fatal only under ``--strict``)."""
+        return [
+            r for r in self.results
+            if not r.passed and r.severity is Severity.WARNING
+        ]
+
+    def ok(self, strict: bool = False) -> bool:
+        """The verdict: no errors; under ``--strict``, no warnings either."""
+        if self.failures:
+            return False
+        return not (strict and self.warnings)
+
+    @property
+    def passed(self) -> bool:
+        """Non-strict verdict (error-severity failures only)."""
+        return self.ok(strict=False)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for JSON export."""
+        return {
+            "kind": "validation_report",
+            "checks": len(self.results),
+            "failures": len(self.failures),
+            "warnings": len(self.warnings),
+            "passed": self.passed,
+            "results": [r.as_dict() for r in self.results],
+        }

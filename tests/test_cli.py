@@ -22,6 +22,7 @@ ALL_SUBCOMMANDS = [
     "perf",
     "fine-vs-coarse",
     "trace",
+    "validate",
 ]
 
 
@@ -182,6 +183,30 @@ def test_trace_without_metrics_flag_writes_only_trace(tmp_path):
     assert not (tmp_path / "metrics.json").exists()
 
 
+# ----------------------------------------------------------- smoke: validate
+
+def test_validate_powercap_section_writes_report_json(tmp_path, capsys):
+    out = tmp_path / "validation.json"
+    assert main(["validate", "--only", "powercap", "--json", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "Validation plane" in stdout
+    assert "validation passed" in stdout
+    doc = json.loads(out.read_text())
+    assert doc["kind"] == "validation_report"
+    assert doc["passed"] is True
+    assert doc["failures"] == 0
+    assert doc["checks"] == len(doc["results"])
+    names = {r["name"] for r in doc["results"]}
+    assert "powercap.budget_conserved" in names
+    assert "powercap.audit_matches_nvml" in names
+
+
+def test_validate_strict_scenario_subset(capsys):
+    assert main(["validate", "--strict", "--scenario", "single-gpu",
+                 "--only", "scenarios"]) == 0
+    assert "strict" in capsys.readouterr().out
+
+
 # ------------------------------------------------------------- bad arguments
 
 def test_trace_unknown_scenario_exits_2(capsys):
@@ -210,3 +235,17 @@ def test_sweep_unknown_benchmark_raises():
 
     with pytest.raises(ConfigurationError, match="unknown SYCL benchmark"):
         main(["sweep", "--benchmark", "nope", "--targets", "MIN_EDP"])
+
+
+def test_validate_unknown_scenario_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["validate", "--scenario", "warp-drive"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_validate_unknown_section_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["validate", "--only", "nope"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
