@@ -3,6 +3,8 @@
 # `coverage` package is available (the floor lives in pyproject.toml's
 # [tool.coverage.report] section). CI images without coverage installed
 # still get the full test run — the gate degrades, it never skips tests.
+# After tests: the repo determinism linter (always available — it ships in
+# src/repro), ruff when installed, and the strict validation plane.
 #
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
@@ -17,6 +19,16 @@ if python -c "import coverage" >/dev/null 2>&1; then
 else
     echo "== coverage not installed; running plain pytest =="
     python -m pytest -x -q "$@"
+fi
+
+echo "== determinism lint (repro-synergy lint) =="
+python -m repro.cli lint
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (rules pinned in pyproject.toml) =="
+    python -m ruff check src tests 2>/dev/null || ruff check src tests
+else
+    echo "== ruff not installed; skipping style lint =="
 fi
 
 echo "== validation plane (invariants + differentials, strict) =="

@@ -44,6 +44,7 @@ from repro.hw import (
     SimulatedGPU,
     get_spec,
 )
+from repro.frontend import DeviceKernel, analyze_source, device_kernel
 from repro.kernelir import InstructionMix, KernelIR, extract_features
 from repro.metrics import (
     ES_25,
@@ -80,6 +81,10 @@ __all__ = [
     "KernelIR",
     "InstructionMix",
     "extract_features",
+    # §6.1 front end
+    "device_kernel",
+    "DeviceKernel",
+    "analyze_source",
     # SYCL surface
     "Buffer",
     "gpu_selector_v",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.apps.miniapp import MpiMiniApp
 from repro.common.errors import ValidationError
+from repro.frontend.kernels import backed_kernel_ir
 from repro.kernelir.instructions import InstructionMix
 from repro.kernelir.kernel import KernelIR
 
@@ -41,12 +42,14 @@ class CloverLeaf(MpiMiniApp):
     def timestep_kernels(self) -> tuple[KernelIR, ...]:
         n = self._cells
         return (
-            KernelIR(
+            # Source-backed through the §6.1 front end (the field loop in
+            # the device-Python source realizes ``_WORK_SCALE``).
+            backed_kernel_ir(
                 "clover_ideal_gas",
                 InstructionMix(float_add=10, float_mul=14, float_div=4, sf=2,
                                gl_access=6).scaled(_WORK_SCALE),
-                work_items=n,
-                locality=0.30,
+                n,
+                0.30,
             ),
             KernelIR(
                 "clover_viscosity",
@@ -76,11 +79,11 @@ class CloverLeaf(MpiMiniApp):
                 work_items=n,
                 locality=0.40,
             ),
-            KernelIR(
+            backed_kernel_ir(
                 "clover_flux_calc",
                 InstructionMix(float_add=10, float_mul=10, gl_access=10).scaled(_WORK_SCALE),
-                work_items=n,
-                locality=0.25,
+                n,
+                0.25,
             ),
             KernelIR(
                 "clover_advec_cell",

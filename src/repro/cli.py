@@ -18,7 +18,12 @@ exposes the deployment and analysis workflows:
   trace and metrics documents (see ``docs/OBSERVABILITY.md``),
 - ``validate`` — run the invariant catalog and differential harness over
   the golden scenarios (see ``docs/VALIDATION.md``); ``--strict`` also
-  fails on warnings and is the CI gate in ``scripts/check.sh``.
+  fails on warnings and is the CI gate in ``scripts/check.sh``,
+- ``analyze`` — run the §6.1 static-analysis front end over one kernel
+  (``module:fn``, ``file.py:fn`` or a backed kernel name) and print its
+  Table-1 features, locality and diagnostics (see ``docs/FRONTEND.md``),
+- ``lint`` — the repo-wide determinism linter (banned wall-clock reads,
+  global RNG state, exact float equality).
 """
 
 from __future__ import annotations
@@ -446,6 +451,111 @@ def _cmd_fine_vs_coarse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_analysis_target(target: str):
+    """Resolve the ``analyze`` argument to (AnalysisResult, DeviceKernel|None).
+
+    Accepts ``pkg.module:fn``, ``path/to/file.py:fn`` or the name of a
+    source-backed kernel from :mod:`repro.frontend.kernels`.
+    """
+    import importlib
+    import inspect
+    import textwrap
+    from pathlib import Path
+
+    from repro.common.errors import ConfigurationError
+    from repro.frontend import DeviceKernel, analyze_source
+    from repro.frontend.kernels import KERNELS
+
+    if ":" in target:
+        mod, _, fn = target.rpartition(":")
+        if mod.endswith(".py"):
+            path = Path(mod)
+            if not path.is_file():
+                raise ConfigurationError(f"no such kernel file: {mod}")
+            return analyze_source(path.read_text(), fn_name=fn), None
+        obj = getattr(importlib.import_module(mod), fn, None)
+        if obj is None:
+            raise ConfigurationError(f"module {mod!r} has no attribute {fn!r}")
+        if isinstance(obj, DeviceKernel):
+            return obj.analysis, obj
+        if not callable(obj):
+            raise ConfigurationError(f"{target!r} is not a function")
+        src = textwrap.dedent(inspect.getsource(obj))
+        return analyze_source(src, fn_name=obj.__name__), None
+    if target in KERNELS:
+        dk = KERNELS[target]
+        return dk.analysis, dk
+    raise ConfigurationError(
+        f"unknown analyze target {target!r}: use module:fn, file.py:fn or "
+        f"one of the backed kernels {sorted(KERNELS)}"
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError, ValidationError
+    from repro.kernelir.features import FEATURE_NAMES
+
+    try:
+        analysis, dk = _resolve_analysis_target(args.kernel)
+    except (ConfigurationError, ValidationError, ImportError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    counts = analysis.mix.as_dict()
+    rows = [[name, f"{counts[name]:g}"] for name in FEATURE_NAMES]
+    print(
+        format_table(
+            ["feature", "static count / work-item"],
+            rows,
+            title=f"Table-1 features for kernel {analysis.name!r}",
+        )
+    )
+    est = analysis.locality_estimate
+    pin = dk.pinned_locality if dk is not None else None
+    line = f"locality: estimated {est.value:.4f} ({est.hits:g}/{est.total:g} reused)"
+    if pin is not None:
+        line += f"; pinned to {pin:g} (calibrated)"
+    print(line)
+    if args.json:
+        write_json(
+            {
+                "kind": "frontend_analysis",
+                "kernel": analysis.name,
+                "features": counts,
+                "locality_estimate": est.value,
+                "locality_pinned": pin,
+                "diagnostics": [d.as_dict() for d in analysis.diagnostics],
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    if analysis.diagnostics:
+        print(f"{len(analysis.diagnostics)} diagnostics:", file=sys.stderr)
+        for d in analysis.diagnostics:
+            print(f"  {d.format()}", file=sys.stderr)
+        return 1
+    print("diagnostics: none (kernel is inside the device-Python subset)")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.frontend.lint import default_lint_root, lint_paths
+
+    paths = args.paths if args.paths else [str(default_lint_root())]
+    violations = lint_paths(paths)
+    for v in violations:
+        print(v.format())
+    n_files = len({v.path for v in violations})
+    if violations:
+        print(
+            f"lint: {len(violations)} determinism violations in "
+            f"{n_files} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint: clean ({', '.join(paths)})")
+    return 0
+
+
 # -------------------------------------------------------------------- parser
 
 def build_parser() -> argparse.ArgumentParser:
@@ -570,6 +680,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None,
                    help="export the full report to a JSON file")
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("analyze", help="run the §6.1 front end over a kernel, "
+                       "print features + diagnostics")
+    p.add_argument("kernel",
+                   help="module:fn, path/to/file.py:fn, or a backed kernel "
+                   "name (e.g. vec_add)")
+    p.add_argument("--json", default=None,
+                   help="export features and diagnostics to a JSON file")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("lint", help="repo-wide determinism linter")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src/repro)")
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

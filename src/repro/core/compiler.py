@@ -16,6 +16,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.common.errors import ConfigurationError
 from repro.core.models import EnergyModelBundle
 from repro.core.predictor import FrequencyPredictor
+from repro.frontend.decorator import DeviceKernel
 from repro.hw.specs import GPUSpec
 from repro.kernelir.features import extract_features
 from repro.kernelir.kernel import KernelIR
@@ -76,14 +77,23 @@ class SynergyCompiler:
 
     def compile(
         self,
-        kernels: Sequence[KernelIR],
+        kernels: Sequence[KernelIR | DeviceKernel],
         targets: Iterable[EnergyTarget],
+        *,
+        work_items: int | Mapping[str, int] | None = None,
     ) -> CompiledApplication:
         """Produce the frequency plan for every (kernel, target) pair.
+
+        Kernels may be prebuilt :class:`KernelIR` objects or
+        ``@device_kernel``-decorated functions — the latter run through the
+        §6.1 front end here, exactly where the paper's pass sits in its
+        toolchain. Decorated kernels need a launch size: pass ``work_items``
+        as a single int or a ``{kernel_name: size}`` mapping.
 
         Duplicate kernel names are rejected: the plan is keyed by name, as
         the runtime identifies kernels by their mangled symbol.
         """
+        kernels = [self._resolve(k, work_items) for k in kernels]
         names = [k.name for k in kernels]
         if len(set(names)) != len(names):
             dupes = sorted({n for n in names if names.count(n) > 1})
@@ -102,4 +112,27 @@ class SynergyCompiler:
         plan = FrequencyPlan(device_name=self.spec.name, entries=entries)
         return CompiledApplication(
             kernels=tuple(kernels), plan=plan, feature_vectors=features
+        )
+
+    @staticmethod
+    def _resolve(
+        kernel: KernelIR | DeviceKernel,
+        work_items: int | Mapping[str, int] | None,
+    ) -> KernelIR:
+        if isinstance(kernel, KernelIR):
+            return kernel
+        if isinstance(kernel, DeviceKernel):
+            if isinstance(work_items, Mapping):
+                size = work_items.get(kernel.name)
+            else:
+                size = work_items
+            if size is None:
+                raise ConfigurationError(
+                    f"device kernel {kernel.name!r} needs a launch size: "
+                    "pass work_items=<int> or {kernel_name: <int>}"
+                )
+            return kernel.kernel_ir(work_items=size)
+        raise ConfigurationError(
+            f"cannot compile {type(kernel).__name__}: expected KernelIR or "
+            "@device_kernel function"
         )

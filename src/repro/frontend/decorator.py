@@ -1,0 +1,227 @@
+"""``@device_kernel`` — the entry point of the §6.1 front-end pass.
+
+Decorating a restricted device-Python function captures its source,
+parses it, and (lazily, on first use) runs the full static analysis:
+lowering + type inference (:mod:`repro.frontend.lowering`), Table-1
+counting (:func:`repro.frontend.cfg.count_region`) and the stride/reuse
+locality analysis (:mod:`repro.frontend.locality`). The result is
+everything :class:`~repro.kernelir.kernel.KernelIR` needs, so a decorated
+function slots straight into ``SynergyCompiler`` and the sweep→train→
+predict pipeline without a hand-declared :class:`InstructionMix`.
+
+Usage::
+
+    @device_kernel
+    def vec_add(gid, a, b, c):
+        c[gid] = a[gid] + b[gid]
+
+    ir = vec_add.kernel_ir(work_items=1 << 24)
+
+``locality=...`` pins the DRAM-reuse fraction when the paper's calibrated
+value is known (the analysis estimate is still computed and reported by
+``repro-synergy analyze``); ``constants=...`` provides compile-time values
+for scalar parameters so ``range`` bounds fold.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, overload
+
+from repro.common.errors import ValidationError
+from repro.frontend.cfg import KernelCFG, count_region
+from repro.frontend.diagnostics import Diagnostic, DiagnosticSink, FrontendError
+from repro.frontend.locality import LocalityEstimate, estimate_locality
+from repro.frontend.lowering import lower_kernel
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import HostFunction, KernelIR
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the front-end pass derives from one kernel source."""
+
+    name: str
+    cfg: KernelCFG
+    mix: InstructionMix
+    locality_estimate: LocalityEstimate
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def _function_def(src: str, fn_name: str | None = None) -> ast.FunctionDef:
+    """Parse kernel source and pull out the (single) function definition."""
+    tree = ast.parse(textwrap.dedent(src))
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if fn_name is not None:
+        fns = [n for n in fns if n.name == fn_name]
+    if len(fns) != 1:
+        raise ValidationError(
+            "kernel source must contain exactly one function definition"
+            + (f" named {fn_name!r}" if fn_name else "")
+            + f" (found {len(fns)})"
+        )
+    return fns[0]
+
+
+def analyze_source(
+    src: str,
+    *,
+    name: str | None = None,
+    fn_name: str | None = None,
+    constants: dict[str, int | float] | None = None,
+) -> AnalysisResult:
+    """Run the complete front-end pass over kernel source text."""
+    fn = _function_def(src, fn_name)
+    kernel_name = name or fn.name
+    cfg, sink = lower_kernel(fn, name=kernel_name, constants=constants)
+    mix = count_region(cfg.body)
+    estimate = estimate_locality(cfg.body)
+    return AnalysisResult(
+        name=kernel_name,
+        cfg=cfg,
+        mix=mix,
+        locality_estimate=estimate,
+        diagnostics=sink.as_tuple(),
+    )
+
+
+class DeviceKernel:
+    """A decorated device function plus its (lazily computed) analysis.
+
+    Instances stay callable — the wrapped Python function is untouched, so
+    tests and host-side golden implementations can still execute it.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        name: str | None = None,
+        locality: float | None = None,
+        word_bytes: int = 4,
+        constants: dict[str, int | float] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.name = name or fn.__name__
+        self.pinned_locality = locality
+        self.word_bytes = word_bytes
+        self.constants = dict(constants or {})
+        self.__doc__ = fn.__doc__
+        self.__name__ = self.name
+        self._analysis: AnalysisResult | None = None
+
+    def __call__(self, *args, **kwargs):
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"DeviceKernel({self.name!r})"
+
+    @property
+    def analysis(self) -> AnalysisResult:
+        """The front-end pass output (computed once, cached)."""
+        if self._analysis is None:
+            try:
+                src = textwrap.dedent(inspect.getsource(self.fn))
+            except (OSError, TypeError) as exc:
+                raise ValidationError(
+                    f"cannot recover source for kernel {self.name!r} "
+                    "(interactively-defined kernels must go through "
+                    "analyze_source with explicit source text)"
+                ) from exc
+            # Drop decorator lines so only the function body is analyzed.
+            self._analysis = analyze_source(
+                src,
+                name=self.name,
+                fn_name=self.fn.__name__,
+                constants=self.constants,
+            )
+        return self._analysis
+
+    @property
+    def mix(self) -> InstructionMix:
+        """Extracted Table-1 static per-work-item instruction counts."""
+        return self.analysis.mix
+
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return self.analysis.diagnostics
+
+    @property
+    def locality_estimate(self) -> LocalityEstimate:
+        """The stride/reuse analysis result (even when a pin overrides it)."""
+        return self.analysis.locality_estimate
+
+    @property
+    def locality(self) -> float:
+        """Locality used for the IR: the pin if given, else the estimate."""
+        if self.pinned_locality is not None:
+            return self.pinned_locality
+        return self.locality_estimate.value
+
+    def kernel_ir(
+        self,
+        work_items: int,
+        *,
+        host_fn: HostFunction | None = None,
+    ) -> KernelIR:
+        """Emit the :class:`KernelIR` the rest of the stack consumes.
+
+        Raises :class:`FrontendError` if the kernel produced diagnostics —
+        an uncountable kernel must never reach the scheduler with a wrong
+        feature vector.
+        """
+        analysis = self.analysis
+        if analysis.diagnostics:
+            raise FrontendError(self.name, analysis.diagnostics)
+        return KernelIR(
+            name=self.name,
+            mix=analysis.mix,
+            work_items=work_items,
+            word_bytes=self.word_bytes,
+            locality=self.locality,
+            host_fn=host_fn,
+        )
+
+
+@overload
+def device_kernel(fn: Callable) -> DeviceKernel: ...
+
+
+@overload
+def device_kernel(
+    *,
+    name: str | None = ...,
+    locality: float | None = ...,
+    word_bytes: int = ...,
+    constants: dict[str, int | float] | None = ...,
+) -> Callable[[Callable], DeviceKernel]: ...
+
+
+def device_kernel(
+    fn: Callable | None = None,
+    *,
+    name: str | None = None,
+    locality: float | None = None,
+    word_bytes: int = 4,
+    constants: dict[str, int | float] | None = None,
+):
+    """Mark a function as a device kernel (usable bare or with options)."""
+    def wrap(f: Callable) -> DeviceKernel:
+        return DeviceKernel(
+            f,
+            name=name,
+            locality=locality,
+            word_bytes=word_bytes,
+            constants=constants,
+        )
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

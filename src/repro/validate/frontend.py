@@ -1,0 +1,196 @@
+"""Differential validation of the §6.1 front end (extracted vs declared).
+
+The front end's contract is that static analysis of a kernel's device-
+Python source reproduces the hand-declared Table-1 model *exactly* —
+counts, feature vectors and, downstream, every compiled frequency. These
+checks enforce the full chain:
+
+- every source-backed kernel extracts with zero diagnostics,
+- its extracted mix equals the mix the app layer carries, class by class,
+- ``extract_features`` vectors (with the locality discount) are identical,
+- a :class:`FrequencyPlan` compiled from front-end-built kernels is entry-
+  for-entry identical to one compiled from hand-declared kernels,
+- unpinned streaming kernels' stride/reuse *estimate* matches the declared
+  locality (the pinned ones are covered by the plan identity),
+- the diagnostics engine still rejects an out-of-subset kernel with a
+  located finding (the ``analyze`` exit-code contract).
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import NVIDIA_V100, GPUSpec
+from repro.kernelir.kernel import KernelIR
+from repro.validate.result import CheckResult, check
+
+#: Backed kernels whose declared locality is the *estimator's own* output
+#: (no ``@device_kernel(locality=...)`` pin).
+UNPINNED_STREAMING: tuple[str, ...] = ("vec_add", "dram", "sf", "arith")
+
+
+def _backed_app_kernels() -> list[KernelIR]:
+    """Every app-layer kernel that has a source-backed implementation."""
+    from repro.apps import CloverLeaf, MiniWeather, get_benchmark
+    from repro.frontend.kernels import KERNELS
+
+    kernels: list[KernelIR] = []
+    seen: set[str] = set()
+    for name in KERNELS:
+        try:
+            kernels.append(get_benchmark(name).kernel)
+            seen.add(name)
+        except Exception:
+            pass
+    for app in (MiniWeather(), CloverLeaf()):
+        for kernel in app.timestep_kernels():
+            if kernel.name in KERNELS and kernel.name not in seen:
+                kernels.append(kernel)
+                seen.add(kernel.name)
+    return kernels
+
+
+def check_extraction_matches_declared() -> list[CheckResult]:
+    """Source-extracted mixes equal the app-declared mixes exactly."""
+    from repro.frontend.kernels import KERNELS
+
+    results = []
+    for declared in _backed_app_kernels():
+        dk = KERNELS[declared.name]
+        results.append(
+            check(
+                "frontend.diagnostics_clean",
+                not dk.diagnostics,
+                f"{declared.name}: {len(dk.diagnostics)} diagnostics",
+            )
+        )
+        got, want = dk.mix.as_dict(), declared.mix.as_dict()
+        diff = {k: (got[k], want[k]) for k in want if got[k] != want[k]}
+        results.append(
+            check(
+                "frontend.extracted_vs_declared_mix",
+                not diff,
+                f"{declared.name}: exact Table-1 equality"
+                + (f" violated: {diff}" if diff else ""),
+            )
+        )
+    return results
+
+
+def check_feature_vectors_identical() -> list[CheckResult]:
+    """``extract_features`` (locality discount included) is identical."""
+    from repro.frontend.kernels import KERNELS
+    from repro.kernelir.features import extract_features
+
+    results = []
+    for declared in _backed_app_kernels():
+        rebuilt = KERNELS[declared.name].kernel_ir(
+            work_items=declared.work_items
+        )
+        same = tuple(extract_features(rebuilt)) == tuple(
+            extract_features(declared)
+        )
+        results.append(
+            check(
+                "frontend.feature_vector_identity",
+                same,
+                f"{declared.name}: feature vectors "
+                + ("identical" if same else "diverge"),
+            )
+        )
+    return results
+
+
+def check_plan_identity(spec: GPUSpec = NVIDIA_V100) -> list[CheckResult]:
+    """Frequency plans from extracted and declared kernels are identical."""
+    from repro.core.compiler import SynergyCompiler
+    from repro.frontend.kernels import KERNELS
+    from repro.experiments.training import make_bundle, microbench_training_set
+    from repro.metrics.targets import ES_50, MIN_EDP
+
+    declared = _backed_app_kernels()
+    rebuilt = [
+        KERNELS[k.name].kernel_ir(work_items=k.work_items) for k in declared
+    ]
+    # Hand-build the declared side so the comparison is end-to-end even if
+    # the app layer ever stops routing through the front end.
+    baseline = [
+        KernelIR(name=k.name, mix=k.mix, work_items=k.work_items,
+                 word_bytes=k.word_bytes, locality=k.locality)
+        for k in declared
+    ]
+    training = microbench_training_set(spec, freq_stride=24, random_count=2)
+    compiler = SynergyCompiler(make_bundle("Linear", seed=7).fit(training), spec)
+    targets = (MIN_EDP, ES_50)
+    plan_a = compiler.compile(baseline, targets).plan
+    plan_b = compiler.compile(rebuilt, targets).plan
+    same = dict(plan_a.entries) == dict(plan_b.entries)
+    detail = (
+        f"{len(dict(plan_a.entries))} entries identical on {spec.name}"
+        if same
+        else "plans diverge: "
+        + str({
+            k: (dict(plan_a.entries).get(k), dict(plan_b.entries).get(k))
+            for k in set(plan_a.entries) | set(plan_b.entries)
+            if dict(plan_a.entries).get(k) != dict(plan_b.entries).get(k)
+        })
+    )
+    return [check("frontend.plan_identity", same, detail)]
+
+
+def check_locality_estimator() -> list[CheckResult]:
+    """Unpinned kernels: the reuse estimate *is* the declared locality."""
+    from repro.apps import get_benchmark
+    from repro.frontend.kernels import KERNELS
+
+    results = []
+    for name in UNPINNED_STREAMING:
+        dk = KERNELS[name]
+        declared = get_benchmark(name).kernel.locality
+        ok = (
+            dk.pinned_locality is None
+            and dk.locality_estimate.value == declared
+        )
+        results.append(
+            check(
+                "frontend.locality_estimator",
+                ok,
+                f"{name}: estimate {dk.locality_estimate.value!r} vs "
+                f"declared {declared!r} (pin={dk.pinned_locality!r})",
+            )
+        )
+    return results
+
+
+def check_diagnostics_engine() -> list[CheckResult]:
+    """An out-of-subset kernel must produce a located diagnostic."""
+    from repro.frontend import analyze_source
+    from repro.frontend.diagnostics import UNSUPPORTED_STATEMENT
+
+    src = (
+        "def runaway(gid, a):\n"
+        "    while a[gid] > 0.0:\n"
+        "        a[gid] = a[gid] - 1.0\n"
+    )
+    analysis = analyze_source(src)
+    located = [
+        d for d in analysis.diagnostics
+        if d.code == UNSUPPORTED_STATEMENT and d.line == 2
+    ]
+    return [
+        check(
+            "frontend.diagnostics_engine",
+            bool(located),
+            f"dynamic-bound loop reported {len(analysis.diagnostics)} "
+            f"diagnostics (expected {UNSUPPORTED_STATEMENT} at line 2)",
+        )
+    ]
+
+
+def run_frontend_checks(spec: GPUSpec = NVIDIA_V100) -> list[CheckResult]:
+    """The full extracted-vs-declared differential section."""
+    return (
+        check_extraction_matches_declared()
+        + check_feature_vectors_identical()
+        + check_plan_identity(spec)
+        + check_locality_estimator()
+        + check_diagnostics_engine()
+    )

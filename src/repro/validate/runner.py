@@ -33,7 +33,9 @@ SWEEP_KERNEL_NAMES: tuple[str, ...] = (
 SWEEP_SPECS: tuple[GPUSpec, ...] = (NVIDIA_V100, AMD_MI100)
 
 #: Selectable report sections.
-SECTIONS: tuple[str, ...] = ("sweeps", "powercap", "scenarios", "differential")
+SECTIONS: tuple[str, ...] = (
+    "sweeps", "powercap", "scenarios", "differential", "frontend",
+)
 
 
 def _sweep_section(report: ValidationReport) -> None:
@@ -105,6 +107,14 @@ def _differential_section(report: ValidationReport) -> None:
         report.extend(run_differential_checks(NVIDIA_V100))
 
 
+def _frontend_section(report: ValidationReport) -> None:
+    from repro.core.sweepcache import scoped_cache
+    from repro.validate.frontend import run_frontend_checks
+
+    with scoped_cache():
+        report.extend(run_frontend_checks(NVIDIA_V100))
+
+
 def run_validation(
     scenarios: tuple[str, ...] | list[str] = GOLDEN_SCENARIOS,
     *,
@@ -134,4 +144,6 @@ def run_validation(
         _scenario_section(report, tuple(scenarios), seed)
     if "differential" in sections:
         _differential_section(report)
+    if "frontend" in sections:
+        _frontend_section(report)
     return report

@@ -23,6 +23,8 @@ ALL_SUBCOMMANDS = [
     "fine-vs-coarse",
     "trace",
     "validate",
+    "analyze",
+    "lint",
 ]
 
 
@@ -205,6 +207,59 @@ def test_validate_strict_scenario_subset(capsys):
     assert main(["validate", "--strict", "--scenario", "single-gpu",
                  "--only", "scenarios"]) == 0
     assert "strict" in capsys.readouterr().out
+
+
+# ------------------------------------------------- smoke: analyze / lint
+
+def test_analyze_registry_kernel(capsys):
+    assert main(["analyze", "gemm"]) == 0
+    out = capsys.readouterr().out
+    assert "float_mul" in out and "gl_access" in out
+    assert "locality" in out
+    assert "diagnostics: none" in out
+
+
+def test_analyze_json_output(tmp_path, capsys):
+    out_path = tmp_path / "analysis.json"
+    assert main(["analyze", "vec_add", "--json", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["kind"] == "frontend_analysis"
+    assert doc["kernel"] == "vec_add"
+    assert doc["features"]["float_add"] == 1.0
+    assert doc["features"]["gl_access"] == 3.0
+    assert doc["locality_pinned"] is None
+    assert doc["diagnostics"] == []
+
+
+def test_analyze_file_with_diagnostics_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad_kernel.py"
+    bad.write_text(
+        "def spin(gid, a):\n"
+        "    while a[gid] > 0.0:\n"
+        "        a[gid] = a[gid] - 1.0\n"
+    )
+    assert main(["analyze", f"{bad}:spin"]) == 1
+    err = capsys.readouterr().err
+    assert "FE001" in err and "spin:2:" in err
+
+
+def test_analyze_unknown_kernel_exits_2(capsys):
+    assert main(["analyze", "not_a_kernel"]) == 2
+    assert "not_a_kernel" in capsys.readouterr().err
+
+
+def test_lint_clean_tree_exits_0(capsys):
+    assert main(["lint"]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_lint_violation_exits_1(tmp_path, capsys):
+    bad = tmp_path / "clocky.py"
+    bad.write_text("import time\n\nstamp = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "ND001" in captured.out
+    assert "violation" in captured.err
 
 
 # ------------------------------------------------------------- bad arguments

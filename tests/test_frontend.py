@@ -1,0 +1,238 @@
+"""§6.1 front end: lowering, Table-1 classification, diagnostics, round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.frontend import (
+    FrontendError,
+    analyze_source,
+    device_kernel,
+    source_for_mix,
+)
+from repro.kernelir.instructions import InstructionMix
+from repro.kernelir.kernel import KernelIR
+
+pytestmark = pytest.mark.frontend
+
+
+def _mix(src: str, **kwargs) -> InstructionMix:
+    analysis = analyze_source(src, **kwargs)
+    assert analysis.ok, [d.format() for d in analysis.diagnostics]
+    return analysis.mix
+
+
+# ------------------------------------------------------------ classification
+
+def test_vec_add_lowering():
+    mix = _mix("def k(gid, a, b, c):\n    c[gid] = a[gid] + b[gid]\n")
+    assert mix == InstructionMix(float_add=1, gl_access=3)
+
+
+@pytest.mark.parametrize("expr, expected", [
+    ("1 + 2", InstructionMix(int_add=1)),
+    ("3 - 1", InstructionMix(int_add=1)),
+    ("3 * 5", InstructionMix(int_mul=1)),
+    ("7 // 2", InstructionMix(int_div=1)),
+    ("7 % 2", InstructionMix(int_div=1)),
+    ("6 ^ 3", InstructionMix(int_bw=1)),
+    ("6 & 3", InstructionMix(int_bw=1)),
+    ("6 | 3", InstructionMix(int_bw=1)),
+    ("6 << 1", InstructionMix(int_bw=1)),
+    ("1.5 + 2.5", InstructionMix(float_add=1)),
+    ("1.5 * 2.5", InstructionMix(float_mul=1)),
+    # True division is a float op even on integer operands.
+    ("7 / 2", InstructionMix(float_div=1)),
+    ("1.5 / 2.5", InstructionMix(float_div=1)),
+    # Power lowers to the special-function unit.
+    ("2.0 ** 0.5", InstructionMix(sf=1)),
+    ("sqrt(2.5)", InstructionMix(sf=1)),
+    ("exp(1.5)", InstructionMix(sf=1)),
+    ("atan2(1.0, 2.0)", InstructionMix(sf=1)),
+    # abs/min/max are one add-class op (compare-select).
+    ("abs(-1.5)", InstructionMix(float_add=1)),
+    ("max(1.5, 2.5)", InstructionMix(float_add=1)),
+    ("min(1, 2)", InstructionMix(int_add=1)),
+])
+def test_single_op_classification(expr, expected):
+    assert _mix(f"def k(gid, a):\n    s = {expr}\n") == expected
+
+
+def test_int_float_promotion():
+    # int + float promotes: the add runs on the FP pipe.
+    mix = _mix("def k(gid, a):\n    s = 3 + 1.5\n    t = s * 2\n")
+    assert mix == InstructionMix(float_add=1, float_mul=1)
+
+
+def test_casts_are_free():
+    mix = _mix("def k(gid, a):\n    s = float(3)\n    t = int(1.5)\n")
+    assert mix == InstructionMix()
+
+
+def test_no_cse_repeated_expression_counts_twice():
+    # "The source is the register-allocated form": no CSE across statements.
+    mix = _mix(
+        "def k(gid, a):\n"
+        "    s = a[gid] * a[gid]\n"
+        "    t = a[gid] * a[gid]\n"
+    )
+    assert mix == InstructionMix(float_mul=2, gl_access=4)
+
+
+# ------------------------------------------------------------------- loops
+
+def test_counted_loop_multiplies_trip_count():
+    mix = _mix(
+        "def k(gid, a):\n"
+        "    s = 0.0\n"
+        "    for i in range(8):\n"
+        "        s = s + a[gid]\n"
+    )
+    assert mix == InstructionMix(float_add=8, gl_access=8)
+
+
+def test_nested_loops_multiply():
+    mix = _mix(
+        "def k(gid, a):\n"
+        "    for i in range(3):\n"
+        "        for j in range(4):\n"
+        "            s = 1 + 2\n"
+    )
+    assert mix == InstructionMix(int_add=12)
+
+
+def test_constants_fold_range_bounds():
+    src = "def k(gid, a, n):\n    for i in range(n):\n        s = 1.5 + 2.5\n"
+    assert _mix(src, constants={"n": 5}) == InstructionMix(float_add=5)
+    # Without the constant the bound is dynamic: FE002.
+    analysis = analyze_source(src)
+    assert [d.code for d in analysis.diagnostics] == ["FE002"]
+
+
+def test_zero_instruction_kernel():
+    analysis = analyze_source("def idle(gid, a):\n    pass\n")
+    assert analysis.ok
+    assert analysis.mix == InstructionMix()
+    assert analysis.locality_estimate.value == 0.0
+    ir = KernelIR("idle", analysis.mix, work_items=64,
+                  locality=analysis.locality_estimate.value)
+    assert ir.mix.as_dict() == InstructionMix().as_dict()
+
+
+# -------------------------------------------------------------- diagnostics
+
+@pytest.mark.parametrize("label, src, code", [
+    ("while-loop", "def k(gid, a):\n    while a[gid] > 0.0:\n        a[gid] = 0.0\n", "FE001"),
+    ("if-stmt", "def k(gid, a):\n    if gid > 0:\n        a[gid] = 0.0\n", "FE001"),
+    ("dynamic-bound", "def k(gid, n, a):\n    for i in range(n):\n        s = 1\n", "FE002"),
+    ("unknown-call", "def k(gid, a):\n    a[gid] = frobnicate(a[gid])\n", "FE003"),
+    ("lambda", "def k(gid, a):\n    f = lambda x: x\n", "FE004"),
+    ("compare-expr", "def k(gid, a):\n    s = a[gid] > 1.0\n", "FE004"),
+    ("array-alias", "def k(gid, a):\n    b = a\n    b[gid] = 0.0\n", "FE005"),
+    ("float-bitwise", "def k(gid, a):\n    s = a[gid] ^ 3\n", "FE006"),
+    ("non-range-loop", "def k(gid, a):\n    for i in a:\n        s = 1\n", "FE007"),
+    ("tuple-target", "def k(gid, a):\n    x, y = 1, 2\n", "FE008"),
+    ("star-args", "def k(*args):\n    s = 1\n", "FE009"),
+    ("return-value", "def k(gid, a):\n    return a[gid]\n", "FE010"),
+])
+def test_each_unsupported_construct_has_a_code(label, src, code):
+    analysis = analyze_source(src)
+    assert not analysis.ok
+    codes = [d.code for d in analysis.diagnostics]
+    assert code in codes, f"{label}: got {codes}"
+    d = next(d for d in analysis.diagnostics if d.code == code)
+    assert d.line >= 1
+    assert f"{d.code}" in d.format() and f":{d.line}:" in d.format()
+
+
+def test_kernel_ir_refuses_diagnosed_kernel():
+    @device_kernel
+    def broken(gid, a):
+        return a[gid]
+
+    with pytest.raises(FrontendError, match="FE010"):
+        broken.kernel_ir(work_items=16)
+
+
+def test_decorated_kernel_stays_callable():
+    @device_kernel
+    def double(gid, a):
+        a[gid] = a[gid] * 2.0
+
+    buf = [1.0, 3.0]
+    double(1, buf)
+    assert buf == [1.0, 6.0]
+
+
+def test_analyze_source_requires_single_function():
+    with pytest.raises(ValidationError, match="exactly one function"):
+        analyze_source("x = 1\n")
+    with pytest.raises(ValidationError, match="exactly one function"):
+        analyze_source("def a(gid):\n    pass\ndef b(gid):\n    pass\n")
+
+
+# ------------------------------------------------------------------ locality
+
+def test_temporal_reuse_detected():
+    analysis = analyze_source(
+        "def k(gid, a, out):\n"
+        "    s = a[gid] + a[gid]\n"
+        "    out[gid] = s\n"
+    )
+    est = analysis.locality_estimate
+    # The repeated a[gid] hits; the first touch and the streaming store miss.
+    assert 0.0 < est.value < 1.0
+
+
+def test_spatial_neighbor_within_window():
+    close = analyze_source(
+        "def k(gid, a, out):\n    out[gid] = a[gid] + a[gid + 1]\n"
+    ).locality_estimate
+    far = analyze_source(
+        "def k(gid, a, out):\n    out[gid] = a[gid] + a[gid + 4096]\n"
+    ).locality_estimate
+    assert close.value > far.value
+    assert far.value == 0.0
+
+
+def test_locality_pin_overrides_estimate():
+    @device_kernel(locality=0.75)
+    def pinned(gid, a):
+        a[gid] = a[gid] + 1.0
+
+    assert pinned.pinned_locality == 0.75
+    assert pinned.locality == 0.75
+    assert pinned.locality_estimate.value != 0.75
+    assert pinned.kernel_ir(work_items=32).locality == 0.75
+
+
+# --------------------------------------------------- synth round-trip (PBT)
+
+_COUNTS = st.integers(min_value=0, max_value=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    int_add=_COUNTS, int_mul=_COUNTS, int_div=_COUNTS, int_bw=_COUNTS,
+    float_add=_COUNTS, float_mul=_COUNTS, float_div=_COUNTS, sf=_COUNTS,
+    gl_access=_COUNTS, loc_access=_COUNTS,
+)
+def test_roundtrip_declared_mix_extracts_exactly(**counts):
+    declared = InstructionMix(**counts)
+    analysis = analyze_source(source_for_mix(declared))
+    assert analysis.ok, [d.format() for d in analysis.diagnostics]
+    assert analysis.mix.as_dict() == declared.as_dict()
+    # The reuse estimate always leaves the locality discount valid: the
+    # synthesized KernelIR must construct (locality strictly below 1).
+    est = analysis.locality_estimate.value
+    assert 0.0 <= est < 1.0
+    ir = KernelIR("synth", analysis.mix, work_items=256, locality=est)
+    assert ir.global_bytes == pytest.approx(
+        counts["gl_access"] * 256 * 4 * (1.0 - est)
+    )
+
+
+def test_source_for_mix_rejects_fractional_counts():
+    with pytest.raises(ValidationError):
+        source_for_mix(InstructionMix(float_add=1.5))

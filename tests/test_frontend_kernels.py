@@ -1,0 +1,131 @@
+"""Source-backed kernels: extraction equals declaration, end to end."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.frontend.kernels import KERNELS, backed_kernel_ir
+from repro.kernelir.instructions import InstructionMix
+
+pytestmark = pytest.mark.frontend
+
+SYCLBENCH_BACKED = (
+    "vec_add", "dram", "sf", "arith", "scalar_prod", "median", "gemm",
+    "sobel3", "black_scholes",
+)
+MINIAPP_BACKED = (
+    "mw_tendencies_x", "mw_tendencies_z", "mw_semi_discrete_step",
+    "clover_ideal_gas", "clover_flux_calc",
+)
+
+
+def test_registry_covers_all_backed_kernels():
+    assert set(KERNELS) == set(SYCLBENCH_BACKED) | set(MINIAPP_BACKED)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_backed_kernel_is_diagnostic_clean(name):
+    dk = KERNELS[name]
+    assert dk.analysis.ok, [d.format() for d in dk.diagnostics]
+
+
+@pytest.mark.parametrize("name", SYCLBENCH_BACKED)
+def test_syclbench_mix_extracted_not_declared(name):
+    from repro.apps import get_benchmark
+
+    kernel = get_benchmark(name).kernel
+    dk = KERNELS[name]
+    assert dk.mix.as_dict() == kernel.mix.as_dict()
+    assert dk.kernel_ir(work_items=kernel.work_items) == kernel
+
+
+def test_miniweather_kernels_are_backed():
+    from repro.apps import MiniWeather
+
+    by_name = {k.name: k for k in MiniWeather().timestep_kernels()}
+    for name in ("mw_tendencies_x", "mw_tendencies_z", "mw_semi_discrete_step"):
+        assert KERNELS[name].mix.as_dict() == by_name[name].mix.as_dict()
+
+
+def test_cloverleaf_kernels_are_backed():
+    from repro.apps import CloverLeaf
+
+    by_name = {k.name: k for k in CloverLeaf().timestep_kernels()}
+    for name in ("clover_ideal_gas", "clover_flux_calc"):
+        assert KERNELS[name].mix.as_dict() == by_name[name].mix.as_dict()
+
+
+def test_backed_kernel_ir_cross_checks_mix():
+    declared = KERNELS["vec_add"].mix
+    ir = backed_kernel_ir("vec_add", declared, 1024, KERNELS["vec_add"].locality)
+    assert ir.work_items == 1024
+    drifted = InstructionMix(float_add=2, gl_access=3)
+    with pytest.raises(ConfigurationError, match="float_add"):
+        backed_kernel_ir("vec_add", drifted, 1024, KERNELS["vec_add"].locality)
+
+
+def test_backed_kernel_ir_cross_checks_locality():
+    with pytest.raises(ConfigurationError, match="locality"):
+        backed_kernel_ir("gemm", KERNELS["gemm"].mix, 1024, 0.99)
+
+
+# ------------------------------------------------- compiler integration
+
+def _small_compiler():
+    from repro.core.compiler import SynergyCompiler
+    from repro.experiments.training import make_bundle, microbench_training_set
+    from repro.hw.specs import NVIDIA_V100
+
+    training = microbench_training_set(
+        NVIDIA_V100, freq_stride=24, random_count=2
+    )
+    return SynergyCompiler(make_bundle("Linear", seed=7).fit(training),
+                           NVIDIA_V100)
+
+
+def test_compiler_accepts_device_kernels_directly():
+    from repro.core.sweepcache import scoped_cache
+    from repro.metrics.targets import MIN_EDP
+
+    with scoped_cache():
+        compiler = _small_compiler()
+        app = compiler.compile(
+            [KERNELS["gemm"], KERNELS["sobel3"]],
+            [MIN_EDP],
+            work_items={"gemm": 1 << 20, "sobel3": 1 << 21},
+        )
+        assert app.plan.has("gemm", MIN_EDP)
+        assert app.plan.has("sobel3", MIN_EDP)
+        assert {k.name: k.work_items for k in app.kernels} == {
+            "gemm": 1 << 20, "sobel3": 1 << 21,
+        }
+        # The plan is identical to compiling the emitted KernelIR.
+        irs = [KERNELS["gemm"].kernel_ir(work_items=1 << 20),
+               KERNELS["sobel3"].kernel_ir(work_items=1 << 21)]
+        assert dict(compiler.compile(irs, [MIN_EDP]).plan.entries) == dict(
+            app.plan.entries
+        )
+
+
+def test_compiler_requires_launch_size_for_device_kernels():
+    from repro.core.sweepcache import scoped_cache
+    from repro.metrics.targets import MIN_EDP
+
+    with scoped_cache():
+        compiler = _small_compiler()
+        with pytest.raises(ConfigurationError, match="launch size"):
+            compiler.compile([KERNELS["vec_add"]], [MIN_EDP])
+
+
+# ------------------------------------------------- validation-plane section
+
+@pytest.mark.validate
+def test_frontend_validation_section_passes():
+    from repro.validate.runner import SECTIONS, run_validation
+
+    assert "frontend" in SECTIONS
+    report = run_validation(only=("frontend",))
+    assert report.ok(strict=True), [r.name for r in report.failures]
+    names = {r.name for r in report.results}
+    assert "frontend.extracted_vs_declared_mix" in names
+    assert "frontend.plan_identity" in names
+    assert "frontend.diagnostics_engine" in names
