@@ -33,3 +33,6 @@ fi
 
 echo "== validation plane (invariants + differentials, strict) =="
 python -m repro.cli validate --strict
+
+echo "== adaptive plane (deadline semantics + thermal-drift chaos, strict) =="
+python -m repro.cli validate --only adapt --strict

@@ -1,0 +1,34 @@
+"""Streaming adaptation plane: drift detection and the degradation ladder.
+
+SYnergy's frequency plans are *static*: compiled once from models trained
+on a healthy board. When the device's power/time curve shifts at runtime —
+a thermal-throttle window, an aged power model — the plan silently goes
+stale. ``repro.adapt`` wraps the static pipeline in a supervised
+degradation ladder (ROADMAP item 3, after the deadline-aware contract of
+arXiv:2004.08177):
+
+- :mod:`~repro.adapt.drift` — a CUSUM-style residual monitor over
+  measured-vs-predicted per-launch time/energy, emitting typed
+  :class:`~repro.adapt.drift.DriftEvent`s,
+- :mod:`~repro.adapt.ladder` — the four-level escalation state machine
+  (MODEL → REFRESHED → STATIC → MAX_PERF), monotone in severity,
+- :mod:`~repro.adapt.controller` — the deadline-budgeted streaming
+  controller driving a :class:`~repro.core.queue.SynergyQueue`,
+- :mod:`~repro.adapt.chaos` — the seeded thermal-drift chaos scenario
+  comparing the adaptive ladder against a stale static plan.
+"""
+
+from repro.adapt.controller import AdaptiveController, LaunchOutcome, StreamReport
+from repro.adapt.drift import DriftDetector, DriftEvent
+from repro.adapt.ladder import DegradationLadder, LadderLevel, LadderTransition
+
+__all__ = [
+    "AdaptiveController",
+    "LaunchOutcome",
+    "StreamReport",
+    "DriftDetector",
+    "DriftEvent",
+    "DegradationLadder",
+    "LadderLevel",
+    "LadderTransition",
+]

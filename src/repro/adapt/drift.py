@@ -1,0 +1,163 @@
+"""Windowed drift detection over measured-vs-predicted residuals.
+
+The adaptive controller feeds every non-calibration launch into a
+:class:`DriftDetector`: the measured time/energy from the
+:class:`~repro.core.profiling.EnergyProfiler` path against the value the
+model bundle predicted for the requested clock. The detector runs a
+two-sided CUSUM per ``(kernel, metric)`` stream on the log-ratio residual
+``r = log(measured / predicted)``:
+
+- ``pos ← max(0, pos + r − slack)`` accumulates persistent slow-downs /
+  over-consumption beyond the ``slack`` dead-band,
+- ``neg ← max(0, neg − r − slack)`` accumulates the opposite direction
+  (the model became pessimistic, e.g. a throttle window just ended).
+
+Crossing ``threshold`` emits a typed :class:`DriftEvent`, resets that
+stream and bumps the ``adapt.drift_events`` counter — so the event log is
+a deterministic function of the residual sequence, replayable byte-for-
+byte under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.obs.session import TraceSession, resolve_trace
+
+#: The two residual streams a launch feeds.
+DRIFT_METRICS: tuple[str, ...] = ("time", "energy")
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detector firing: a sustained residual shift on one stream."""
+
+    t: float
+    kernel: str
+    metric: str  # "time" | "energy"
+    direction: str  # "up" = measured above prediction, "down" = below
+    statistic: float  # CUSUM value at the crossing
+    threshold: float
+    samples: int  # residuals absorbed on this stream since its last reset
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (drift logs are replay-compared byte-for-byte)."""
+        return {
+            "t": self.t,
+            "kernel": self.kernel,
+            "metric": self.metric,
+            "direction": self.direction,
+            "statistic": self.statistic,
+            "threshold": self.threshold,
+            "samples": self.samples,
+        }
+
+
+class _StreamState:
+    """Mutable CUSUM state for one ``(kernel, metric)`` stream."""
+
+    __slots__ = ("pos", "neg", "samples")
+
+    def __init__(self) -> None:
+        self.pos = 0.0
+        self.neg = 0.0
+        self.samples = 0
+
+
+class DriftDetector:
+    """Two-sided CUSUM residual monitor emitting :class:`DriftEvent` s.
+
+    ``slack`` is the per-sample dead-band on the log-ratio residual: it
+    must exceed the model's typical shape error, or healthy bias would
+    accumulate into false alarms. ``threshold`` is the accumulated excess
+    that fires; ``min_samples`` gates firing until a stream has absorbed
+    enough residuals to mean anything.
+    """
+
+    def __init__(
+        self,
+        *,
+        slack: float = 0.08,
+        threshold: float = 0.5,
+        min_samples: int = 2,
+        trace: TraceSession | None = None,
+    ) -> None:
+        if not slack > 0.0:
+            raise ValidationError(f"slack must be positive ({slack!r})")
+        if not threshold > 0.0:
+            raise ValidationError(f"threshold must be positive ({threshold!r})")
+        if int(min_samples) < 1:
+            raise ValidationError(f"min_samples must be >= 1 ({min_samples!r})")
+        self.slack = float(slack)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.trace = resolve_trace(trace)
+        self.events: list[DriftEvent] = []
+        self._streams: dict[tuple[str, str], _StreamState] = {}
+
+    def observe(
+        self, t: float, kernel: str, metric: str, measured: float, predicted: float
+    ) -> DriftEvent | None:
+        """Absorb one residual; return the event if this sample fires.
+
+        ``t`` is the virtual timestamp of the measurement (used for the
+        event and its trace instant). Non-positive measurements or
+        predictions are rejected: the residual is a log-ratio.
+        """
+        if metric not in DRIFT_METRICS:
+            raise ValidationError(
+                f"unknown drift metric {metric!r}; known: {list(DRIFT_METRICS)}"
+            )
+        if not (measured > 0.0 and predicted > 0.0):
+            raise ValidationError(
+                f"drift residuals need positive measured/predicted values "
+                f"({measured!r}, {predicted!r})"
+            )
+        residual = math.log(measured / predicted)
+        key = (kernel, metric)
+        state = self._streams.get(key)
+        if state is None:
+            state = self._streams[key] = _StreamState()
+        state.samples += 1
+        state.pos = max(0.0, state.pos + residual - self.slack)
+        state.neg = max(0.0, state.neg - residual - self.slack)
+        if state.samples < self.min_samples:
+            return None
+        if state.pos > self.threshold:
+            direction, statistic = "up", state.pos
+        elif state.neg > self.threshold:
+            direction, statistic = "down", state.neg
+        else:
+            return None
+        event = DriftEvent(
+            t=float(t),
+            kernel=kernel,
+            metric=metric,
+            direction=direction,
+            statistic=float(statistic),
+            threshold=self.threshold,
+            samples=state.samples,
+        )
+        self.events.append(event)
+        self._streams[key] = _StreamState()
+        self.trace.count("adapt.drift_events")
+        self.trace.instant(
+            float(t),
+            "adapt",
+            "adapt.drift",
+            f"{kernel}/{metric}",
+            direction=direction,
+            statistic=float(statistic),
+            samples=event.samples,
+        )
+        return event
+
+    def reset(self) -> None:
+        """Forget all stream state (events survive).
+
+        Called after a model refresh: post-refresh residuals are measured
+        against a different model, so pre-refresh accumulation is void.
+        """
+        self._streams.clear()

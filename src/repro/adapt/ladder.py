@@ -1,0 +1,109 @@
+"""The degradation ladder: a monotone four-level escalation machine.
+
+When drift or deadline misses are detected the controller never "tries
+things" ad hoc — it walks a fixed ladder of increasingly conservative
+policies, each trading energy saving for confidence:
+
+- ``MODEL``     — predicted curves from the (possibly refreshed) bundle,
+- ``REFRESHED`` — the bundle has been incrementally refreshed from the
+  live measurement window; predictions now reflect the shifted regime,
+- ``STATIC``    — abandon online prediction, replay the frozen
+  compile-time plan (the SYnergy baseline),
+- ``MAX_PERF``  — pin the top clock; correctness over saving.
+
+Transitions are monotone by construction — :meth:`DegradationLadder
+.escalate_to` refuses to move down — so severity can only increase over a
+board's degraded lifetime, and every transition is logged as a typed
+:class:`LadderTransition` plus an ``adapt.transition`` trace instant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.obs.session import TraceSession, resolve_trace
+
+
+class LadderLevel(enum.IntEnum):
+    """Ladder rungs, ordered by severity (higher = more conservative)."""
+
+    MODEL = 0
+    REFRESHED = 1
+    STATIC = 2
+    MAX_PERF = 3
+
+
+@dataclass(frozen=True)
+class LadderTransition:
+    """One escalation step, with the evidence that forced it."""
+
+    t: float
+    from_level: LadderLevel
+    to_level: LadderLevel
+    reason: str  # e.g. "drift", "deadline-miss", "refresh-failed"
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (transition logs are replay-compared)."""
+        return {
+            "t": self.t,
+            "from": self.from_level.name,
+            "to": self.to_level.name,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+class DegradationLadder:
+    """Tracks the current rung and records every escalation."""
+
+    def __init__(self, trace: TraceSession | None = None) -> None:
+        self._level = LadderLevel.MODEL
+        self.trace = resolve_trace(trace)
+        self.transitions: list[LadderTransition] = []
+
+    @property
+    def level(self) -> LadderLevel:
+        """The current rung."""
+        return self._level
+
+    def escalate_to(
+        self, t: float, level: LadderLevel, reason: str, detail: str = ""
+    ) -> LadderTransition | None:
+        """Move up to ``level``; no-op (returns None) if already at or past it.
+
+        Monotonicity is enforced here rather than validated after the
+        fact: there is no API to de-escalate, so a transition log that
+        ever moves down cannot be produced.
+        """
+        level = LadderLevel(level)
+        if level <= self._level:
+            return None
+        transition = LadderTransition(
+            t=float(t),
+            from_level=self._level,
+            to_level=level,
+            reason=reason,
+            detail=detail,
+        )
+        self._level = level
+        self.transitions.append(transition)
+        self.trace.count("adapt.transitions")
+        self.trace.instant(
+            float(t),
+            "adapt",
+            "adapt.transition",
+            f"{transition.from_level.name}->{level.name}",
+            reason=reason,
+            detail=detail,
+        )
+        return transition
+
+    def escalate(
+        self, t: float, reason: str, detail: str = ""
+    ) -> LadderTransition | None:
+        """Move up exactly one rung (no-op at ``MAX_PERF``)."""
+        if self._level is LadderLevel.MAX_PERF:
+            return None
+        return self.escalate_to(t, LadderLevel(self._level + 1), reason, detail)

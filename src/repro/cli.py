@@ -12,6 +12,9 @@ exposes the deployment and analysis workflows:
 - ``scaling`` — the Fig. 10 weak-scaling experiment,
 - ``fine-vs-coarse`` — the §2.2 tuning-granularity comparison,
 - ``faults`` — the chaos sweep: energy-target quality vs injected faults,
+- ``adapt`` — the deadline-aware adaptive-DVFS chaos comparison: drift
+  detection and the degradation ladder vs a stale static plan under
+  injected thermal-throttle windows (see ``docs/RESILIENCE.md``),
 - ``perf`` — benchmark the vectorized fast paths against their scalar
   baselines and write ``BENCH_perf.json``,
 - ``trace`` — run a seeded observability scenario and export its Chrome
@@ -311,6 +314,67 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"seed {result.seed})",
         )
     )
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.adapt.chaos import run_thermal_drift_comparison
+    from repro.core.sweepcache import scoped_cache
+
+    print(
+        f"running thermal-drift chaos comparison (seed {args.seed}) ...",
+        file=sys.stderr,
+    )
+    with scoped_cache():
+        comparison = run_thermal_drift_comparison(seed=args.seed)
+    if args.json:
+        write_json(comparison.as_dict(), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    rows = [
+        [
+            run.label,
+            f"{run.streams_met}/{run.streams_met + run.streams_missed}",
+            f"{run.elapsed_s:.4f}",
+            f"{run.energy_j:.1f}",
+            f"{1.0 - run.energy_j / comparison.max_perf.energy_j:+.2%}",
+        ]
+        for run in (
+            comparison.max_perf,
+            comparison.static_clean,
+            comparison.static_fault,
+            comparison.adaptive_fault,
+        )
+    ]
+    print(
+        format_table(
+            ["run", "deadlines met", "time (s)", "GPU energy (J)", "saving"],
+            rows,
+            title=f"Thermal-drift chaos (deadline "
+            f"{comparison.deadlines_s[0]:.4f}s/stream, seed "
+            f"{comparison.seed})",
+        )
+    )
+    print(
+        format_table(
+            ["t (s)", "transition", "reason", "evidence"],
+            [
+                [f"{t['t']:.3f}", f"{t['from']} -> {t['to']}", t["reason"],
+                 t["detail"]]
+                for t in comparison.transitions
+            ],
+            title=f"Degradation ladder ({len(comparison.drift_events)} drift "
+            f"events, {comparison.refreshes} model refreshes)",
+        )
+    )
+    print(
+        f"recovered {comparison.recovery_fraction:.1%} of the pre-drift "
+        f"saving ({comparison.adaptive_saving:.1%} of "
+        f"{comparison.static_saving:.1%})"
+    )
+    missed = comparison.adaptive_fault.streams_missed
+    if missed:
+        print(f"adaptive run missed {missed} stream deadlines", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -636,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bundle", default=None, help="trained bundle JSON path")
     p.add_argument("--json", default=None, help="export results to a JSON file")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("adapt", help="deadline-aware adaptive DVFS vs a "
+                       "stale static plan under thermal throttle")
+    p.add_argument("--seed", type=int, default=7, help="scenario seed")
+    p.add_argument("--json", default=None, help="export results to a JSON file")
+    p.set_defaults(fn=_cmd_adapt)
 
     p = sub.add_parser("perf", help="benchmark the vectorized fast paths")
     p.add_argument("--quick", action="store_true",

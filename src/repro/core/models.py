@@ -330,6 +330,45 @@ class EnergyModelBundle:
             raise ValidationError("EnergyModelBundle is not fitted")
         return self.models_
 
+    def refresh(
+        self, window: TrainingSet, *, fraction: float = 0.5
+    ) -> "EnergyModelBundle":
+        """Refresh the fitted models from a recent measurement window.
+
+        The adaptation path of the degradation ladder: ``window`` holds
+        live per-launch measurements collected *after* a drift signal.
+        Targets are normalized exactly like :meth:`fit` (per-kernel value
+        at the window's top measured clock, then log). Estimators exposing
+        an incremental ``refresh`` (the random forest) replace ``fraction``
+        of their members; closed-form estimators are refitted on the
+        window outright — both deterministic.
+        """
+        models = self._require_fitted()
+        if window.device_name != self.device_name:
+            raise ValidationError(
+                "refresh window measured on a different device "
+                f"({window.device_name!r} vs {self.device_name!r})"
+            )
+        targets = {
+            "time": window.time_s,
+            "energy": window.energy_j,
+            "edp": window.edp_js,
+            "ed2p": window.ed2p_js2,
+        }
+        X = expand_design(window.X)
+        for name, y in targets.items():
+            y_log = np.log(
+                np.maximum(y, 1e-300)
+                / np.maximum(self._reference_values(window, y), 1e-300)
+            )
+            model = models[name]
+            refresh = getattr(model, "refresh", None)
+            if callable(refresh):
+                refresh(X, y_log, fraction=fraction)
+            else:
+                models[name] = self._factories[name]().fit(X, y_log)
+        return self
+
     def predict_curves(
         self, kernel: KernelIR, core_freqs_mhz: Sequence[int] | np.ndarray
     ) -> dict[str, np.ndarray]:

@@ -58,10 +58,21 @@ class OnlineFrequencyTuner:
     ) -> None:
         if len(core_freqs_mhz) < 2:
             raise ValidationError("online tuning needs at least two clocks")
-        if target.kind in (TargetKind.ES, TargetKind.PL):
+        if target.kind in (
+            TargetKind.ES,
+            TargetKind.PL,
+            TargetKind.DEADLINE,
+            TargetKind.SLA_SLACK,
+        ):
             raise ValidationError(
                 f"{target.name} needs the full curve; online search supports "
                 "the scalar objectives (MAX_PERF/MIN_ENERGY/MIN_EDP/MIN_ED2P)"
+            )
+        if int(tolerance_steps) < 1:
+            # 0 or negative would make the bracket endgame unreachable:
+            # the search could never declare convergence.
+            raise ValidationError(
+                f"tolerance_steps must be >= 1 ({tolerance_steps!r})"
             )
         self.freqs = tuple(core_freqs_mhz)
         self.target = target

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.errors import ConfigurationError, ValidationError
 from repro.core.models import EnergyModelBundle
 from repro.core.sweepcache import CURVE_STATS, kernel_fingerprint
 from repro.hw.specs import GPUSpec
@@ -45,6 +46,41 @@ class FrequencyPredictor:
             np.argmin(np.abs(self._freqs - spec.default_core_mhz))
         )
         self._curve_memo: dict[str, dict[str, np.ndarray]] = {}
+        # Per-kernel absolute scales (time s, energy J at the predicted
+        # shape's reference point), installed by `calibrate`. Only needed
+        # for DEADLINE targets; every §5 target is scale-invariant.
+        self._scales: dict[str, tuple[float, float]] = {}
+
+    def invalidate(self) -> None:
+        """Drop memoized curves (call after the model bundle is refreshed).
+
+        Calibration scales survive: they tie predicted shapes to measured
+        magnitudes and stay meaningful across a model refresh.
+        """
+        self._curve_memo.clear()
+
+    def calibrate(
+        self, kernel: KernelIR, time_scale_s: float, energy_scale_j: float
+    ) -> None:
+        """Attach measured absolute scales to a kernel's predicted shapes.
+
+        ``time_scale_s``/``energy_scale_j`` multiply the normalized curves
+        into seconds/joules, enabling DEADLINE resolution. The adaptive
+        controller derives them from live measurements.
+        """
+        if not (time_scale_s > 0.0 and energy_scale_j > 0.0):
+            raise ValidationError(
+                f"calibration scales must be positive "
+                f"({time_scale_s!r}, {energy_scale_j!r})"
+            )
+        self._scales[kernel_fingerprint(kernel)] = (
+            float(time_scale_s),
+            float(energy_scale_j),
+        )
+
+    def is_calibrated(self, kernel: KernelIR) -> bool:
+        """Whether absolute scales are attached for this kernel."""
+        return kernel_fingerprint(kernel) in self._scales
 
     def _curves(self, kernel: KernelIR) -> dict[str, np.ndarray]:
         key = kernel_fingerprint(kernel)
@@ -61,6 +97,15 @@ class FrequencyPredictor:
         self._curve_memo[key] = curves
         return curves
 
+    def metric_curves(self, kernel: KernelIR) -> dict[str, np.ndarray]:
+        """Memoized predicted metric curves for ``kernel`` (read-only arrays).
+
+        Keys ``{"time", "energy", "edp", "ed2p"}``, aligned with the
+        device core-frequency table. The adaptive controller combines
+        these shapes with its live calibration scales.
+        """
+        return self._curves(kernel)
+
     def predict_index(self, kernel: KernelIR, target: EnergyTarget) -> int:
         """Index into the device core-clock table realizing ``target``."""
         curves = self._curves(kernel)
@@ -70,7 +115,19 @@ class FrequencyPredictor:
             return int(np.argmin(curves["edp"]))
         if target.kind is TargetKind.MIN_ED2P:
             return int(np.argmin(curves["ed2p"]))
-        # MAX_PERF, MIN_ENERGY, ES_x and PL_x resolve on time/energy curves.
+        if target.kind is TargetKind.DEADLINE:
+            # Deadlines are absolute; predicted shapes need measured scales.
+            scales = self._scales.get(kernel_fingerprint(kernel))
+            if scales is None:
+                raise ConfigurationError(
+                    f"kernel {kernel.name!r}: DEADLINE targets need absolute "
+                    "predicted time — calibrate() the predictor from a "
+                    "measurement, or use the scale-free SLA_SLACK form"
+                )
+            time = time * scales[0]
+            energy = energy * scales[1]
+        # MAX_PERF, MIN_ENERGY, ES_x, PL_x and SLA_SLACK are invariant
+        # under per-kernel scaling and resolve on the shapes directly.
         return target.resolve_index(self._freqs, time, energy, self._default_index)
 
     def predict_frequency(

@@ -78,14 +78,20 @@ class FrequencySweep:
     def objective_value(self, target: EnergyTarget, index: int) -> float:
         """The target's reported objective at a sweep index (Table 2 protocol).
 
-        MAX_PERF and PL_x report time; MIN_ENERGY and ES_x report energy;
-        MIN_EDP / MIN_ED2P report their product metric.
+        MAX_PERF and PL_x report time; MIN_ENERGY, ES_x and the
+        deadline/SLA family report energy (they maximize saving subject to
+        a time bound); MIN_EDP / MIN_ED2P report their product metric.
         """
         from repro.metrics.targets import TargetKind
 
         if target.kind in (TargetKind.MAX_PERF, TargetKind.PL):
             return float(self.time_s[index])
-        if target.kind in (TargetKind.MIN_ENERGY, TargetKind.ES):
+        if target.kind in (
+            TargetKind.MIN_ENERGY,
+            TargetKind.ES,
+            TargetKind.DEADLINE,
+            TargetKind.SLA_SLACK,
+        ):
             return float(self.energy_j[index])
         if target.kind is TargetKind.MIN_EDP:
             return float(self.edp[index])

@@ -15,6 +15,7 @@ from repro.metrics.energy import ed2p, edp
 from repro.metrics.errors import ape, mape, rmse
 from repro.metrics.pareto import pareto_front_mask, pareto_points
 from repro.metrics.targets import (
+    DEADLINE,
     ES_25,
     ES_50,
     ES_75,
@@ -27,7 +28,9 @@ from repro.metrics.targets import (
     PL_25,
     PL_50,
     PL_75,
+    SLA_SLACK,
     TargetKind,
+    deadline_index,
 )
 from repro.metrics.tradeoff import energy_saving_index, performance_loss_index
 
@@ -52,6 +55,9 @@ __all__ = [
     "PL_25",
     "PL_50",
     "PL_75",
+    "DEADLINE",
+    "SLA_SLACK",
+    "deadline_index",
     "energy_saving_index",
     "performance_loss_index",
 ]

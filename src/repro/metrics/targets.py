@@ -20,7 +20,7 @@ from repro.metrics.tradeoff import energy_saving_index, performance_loss_index
 
 
 class TargetKind(enum.Enum):
-    """The target families of §4.3/§5."""
+    """The target families of §4.3/§5, plus the deadline/SLA extensions."""
 
     MAX_PERF = "MAX_PERF"
     MIN_ENERGY = "MIN_ENERGY"
@@ -28,17 +28,53 @@ class TargetKind(enum.Enum):
     MIN_ED2P = "MIN_ED2P"
     ES = "ES"
     PL = "PL"
+    #: Max energy saving s.t. predicted completion ≤ ``value`` seconds
+    #: (the deadline-aware contract of arXiv:2004.08177). When no table
+    #: clock can meet the deadline, the fastest clock is selected — a
+    #: deadline is never sacrificed for energy.
+    DEADLINE = "DEADLINE"
+    #: Deadline expressed relative to the fastest achievable time:
+    #: ``deadline = value × min(time)``. Scale-invariant, so it resolves
+    #: identically on measured sweeps and normalized shape predictions.
+    SLA_SLACK = "SLA_SLACK"
+
+
+#: Relative tolerance for deadline feasibility: a clock whose predicted
+#: time exceeds the deadline by less than this is still feasible (guards
+#: against float round-off at exact slack boundaries).
+DEADLINE_RTOL = 1e-9
+
+
+def deadline_index(times, energies, deadline_s: float) -> int:
+    """Lowest-energy frequency index whose time meets ``deadline_s``.
+
+    The SLA-guarded selection rule: among the feasible clocks (time ≤
+    deadline) pick the minimum-energy one; when the feasible set is empty
+    fall back to the fastest clock, so the selection is never slower than
+    the MAX_PERF plan.
+    """
+    t = np.asarray(times, dtype=float)
+    e = np.asarray(energies, dtype=float)
+    if t.size == 0:
+        raise ValidationError("deadline resolution needs a non-empty sweep")
+    feasible = np.flatnonzero(t <= deadline_s * (1.0 + DEADLINE_RTOL))
+    if feasible.size == 0:
+        return int(np.argmin(t))
+    return int(feasible[np.argmin(e[feasible])])
 
 
 @dataclass(frozen=True)
 class EnergyTarget:
-    """A per-kernel energy goal, e.g. ``MIN_EDP`` or ``ES_25``.
+    """A per-kernel energy goal, e.g. ``MIN_EDP``, ``ES_25`` or ``DEADLINE_0.05``.
 
-    ``percent`` is only meaningful for the ES/PL families.
+    ``percent`` is only meaningful for the ES/PL families; ``value``
+    carries the deadline in seconds (DEADLINE) or the slack multiplier
+    (SLA_SLACK).
     """
 
     kind: TargetKind
     percent: float | None = None
+    value: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind in (TargetKind.ES, TargetKind.PL):
@@ -53,12 +89,27 @@ class EnergyTarget:
             raise ValidationError(
                 f"{self.kind.value} target does not take a percentage"
             )
+        if self.kind is TargetKind.DEADLINE:
+            if self.value is None or not self.value > 0.0:
+                raise ValidationError(
+                    f"DEADLINE target needs a positive deadline in seconds "
+                    f"({self.value!r})"
+                )
+        elif self.kind is TargetKind.SLA_SLACK:
+            if self.value is None or not self.value >= 1.0:
+                raise ValidationError(
+                    f"SLA_SLACK target needs a slack factor >= 1 ({self.value!r})"
+                )
+        elif self.value is not None:
+            raise ValidationError(f"{self.kind.value} target does not take a value")
 
     @property
     def name(self) -> str:
         """Canonical spelling, e.g. ``"ES_25"`` or ``"MIN_EDP"``."""
         if self.percent is not None:
             return f"{self.kind.value}_{self.percent:g}"
+        if self.value is not None:
+            return f"{self.kind.value}_{self.value:g}"
         return self.kind.value
 
     @classmethod
@@ -76,6 +127,11 @@ class EnergyTarget:
         m = re.fullmatch(r"(ES|PL)_(\d+(?:\.\d+)?)", t)
         if m:
             return cls(TargetKind[m.group(1)], float(m.group(2)))
+        m = re.fullmatch(
+            r"(DEADLINE|SLA_SLACK)_(\d+(?:\.\d+)?(?:E[+-]?\d+)?)", t
+        )
+        if m:
+            return cls(TargetKind[m.group(1)], value=float(m.group(2)))
         raise ValidationError(f"cannot parse energy target {text!r}")
 
     def resolve_index(
@@ -96,6 +152,12 @@ class EnergyTarget:
             return int(np.argmin(edp(e, t)))
         if self.kind is TargetKind.MIN_ED2P:
             return int(np.argmin(ed2p(e, t)))
+        if self.kind is TargetKind.DEADLINE:
+            assert self.value is not None
+            return deadline_index(t, e, self.value)
+        if self.kind is TargetKind.SLA_SLACK:
+            assert self.value is not None
+            return deadline_index(t, e, self.value * float(np.min(t)))
         if self.kind is TargetKind.ES:
             assert self.percent is not None
             return energy_saving_index(freqs, t, e, default_index, self.percent)
@@ -118,6 +180,16 @@ ES_100 = EnergyTarget(TargetKind.ES, 100.0)
 PL_25 = EnergyTarget(TargetKind.PL, 25.0)
 PL_50 = EnergyTarget(TargetKind.PL, 50.0)
 PL_75 = EnergyTarget(TargetKind.PL, 75.0)
+
+
+def DEADLINE(seconds: float) -> EnergyTarget:  # noqa: N802 - target constructor
+    """Max energy saving s.t. predicted completion ≤ ``seconds``."""
+    return EnergyTarget(TargetKind.DEADLINE, value=float(seconds))
+
+
+def SLA_SLACK(factor: float) -> EnergyTarget:  # noqa: N802 - target constructor
+    """Max energy saving s.t. time ≤ ``factor`` × the fastest achievable."""
+    return EnergyTarget(TargetKind.SLA_SLACK, value=float(factor))
 
 #: The ten objectives evaluated in Table 2, in the paper's row order.
 TABLE2_OBJECTIVES: tuple[EnergyTarget, ...] = (

@@ -98,6 +98,10 @@ class RandomForestRegressor(Estimator):
         self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeRegressor] | None = None
         self._stacked: tuple[object, _StackedForest] | None = None
+        #: Number of incremental refreshes applied (seeds each refresh's
+        #: bootstrap/tree RNG streams, so repeated refreshes stay distinct
+        #: yet deterministic).
+        self.refresh_generation_: int = 0
 
     def _resolve_jobs(self) -> int:
         """Worker count: explicit ``n_jobs``, else ``REPRO_JOBS``, else 1."""
@@ -154,6 +158,46 @@ class RandomForestRegressor(Estimator):
             trees = [_fit_one_tree(task) for task in tasks]
         self.trees_ = trees
         self._stacked = None
+        self.refresh_generation_ = 0
+        return self
+
+    def refresh(self, X, y, *, fraction: float = 0.5) -> "RandomForestRegressor":
+        """Incrementally refresh the forest from a recent measurement window.
+
+        Replaces the first ``ceil(fraction × n_estimators)`` trees with
+        trees fitted on ``(X, y)`` — the drift-adaptation primitive: the
+        refreshed members learn the shifted curve while the survivors
+        retain the pre-drift shape, so predictions move toward the new
+        regime without discarding everything the full training set taught.
+
+        Deterministic: bootstrap resamples are drawn serially from a
+        generation-derived stream and each new tree is seeded with
+        ``derive_seed(seed, "refresh", generation, i)``, so a refreshed
+        forest is a pure function of (seed, fit data, refresh windows).
+        """
+        self._check_fitted("trees_")
+        assert self.trees_ is not None
+        if not 0.0 < fraction <= 1.0:
+            raise ValidationError(f"refresh fraction must be in (0, 1] ({fraction!r})")
+        X, y = check_Xy(X, y)
+        assert y is not None
+        fitted_p = self.trees_[0].n_features_
+        if fitted_p is not None and X.shape[1] != fitted_p:
+            raise ValidationError(
+                f"feature count mismatch: fitted {fitted_p}, got {X.shape[1]}"
+            )
+        generation = self.refresh_generation_ + 1
+        n_replace = int(np.ceil(fraction * self.n_estimators))
+        rng = make_rng(derive_seed(self.seed, "refresh", generation))
+        n = X.shape[0]
+        trees = list(self.trees_)
+        for i in range(n_replace):
+            idx = rng.integers(0, n, size=n) if self.bootstrap else None
+            seed = derive_seed(self.seed, "refresh", generation, i)
+            trees[i] = _fit_one_tree((X, y, idx, self._tree_params(), seed))
+        self.trees_ = trees
+        self._stacked = None
+        self.refresh_generation_ = generation
         return self
 
     def fit_scalar(self, X, y) -> "RandomForestRegressor":
@@ -170,6 +214,7 @@ class RandomForestRegressor(Estimator):
             trees.append(tree)
         self.trees_ = trees
         self._stacked = None
+        self.refresh_generation_ = 0
         return self
 
     def _stacked_forest(self) -> _StackedForest:

@@ -8,7 +8,11 @@ Two small but complete runs, each returning a fully populated
   deliberate zero-width window query),
 - ``slurm-faults`` — a 4-node exclusive SLURM job running CloverLeaf
   under a compiled MIN_EDP plan with one scheduled NVML clock-set fault,
-  through the nvgpufreq plugin and the MPI layer.
+  through the nvgpufreq plugin and the MPI layer,
+- ``thermal-drift`` — the adaptive-plane chaos scenario: an
+  :class:`~repro.adapt.controller.AdaptiveController` driven through a
+  full degradation-ladder traversal by two injected
+  ``hw.thermal_throttle`` windows (see :mod:`repro.adapt.chaos`).
 
 Everything is a pure function of the ``seed`` argument and virtual time:
 the exported trace and metrics documents are byte-identical across runs
@@ -145,10 +149,22 @@ def run_slurm_faults_scenario(seed: int = 7) -> TraceSession:
     return trace
 
 
+def run_thermal_drift_scenario(seed: int = 7) -> TraceSession:
+    """The adaptive-plane chaos run, traced end to end."""
+    from repro.adapt.chaos import run_thermal_drift_comparison
+
+    trace = TraceSession()
+    with scoped_cache():
+        run_thermal_drift_comparison(seed=seed, trace=trace)
+        absorb_cache_report(trace)
+    return trace
+
+
 #: Scenario registry: name → runner.
 SCENARIOS = {
     "single-gpu": run_single_gpu_scenario,
     "slurm-faults": run_slurm_faults_scenario,
+    "thermal-drift": run_thermal_drift_scenario,
 }
 
 

@@ -1,0 +1,263 @@
+"""Validation of the adaptive plane (deadline targets, ladder, chaos).
+
+Three families of checks back ``repro-synergy validate --only adapt``:
+
+- **Deadline semantics** on measured sweeps: a DEADLINE selection is
+  never slower than the MAX_PERF plan, picks the minimum-energy feasible
+  clock, degrades to the fastest clock when no clock is feasible, its
+  energy is monotone in deadline slack, and ``SLA_SLACK(x)`` resolves
+  exactly like ``DEADLINE(x × min time)``.
+- **Ladder shape** on a transition log: severity strictly increases, the
+  walk is contiguous from MODEL, and timestamps never run backwards.
+- **Thermal-drift chaos acceptance**: under the seeded throttle windows
+  the adaptive run misses zero deadlines while the stale static plan
+  misses at least one, the ladder traverses every rung with at least one
+  successful model refresh, at least half of the pre-drift energy saving
+  is recovered, and a same-seed replay reproduces the drift-event and
+  transition logs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.targets import (
+    DEADLINE,
+    DEADLINE_RTOL,
+    SLA_SLACK,
+    deadline_index,
+)
+from repro.validate.result import CheckResult, check
+
+#: Deadline grid, in multiples of the sweep's fastest time. 0.8 is
+#: infeasible by construction; the rest walk the feasible slack ladder.
+DEADLINE_FACTORS: tuple[float, ...] = (0.8, 1.0, 1.05, 1.2, 1.5, 2.0, 5.0)
+
+#: Slack factors for the SLA_SLACK/DEADLINE equivalence and ladder checks.
+SLA_FACTORS: tuple[float, ...] = (1.0, 1.1, 1.35, 1.7, 2.5)
+
+#: Ladder rung order for transition-log checks (kept as names so the
+#: checks work on replayed JSON logs, not only live enum objects).
+_RUNG_ORDER: dict[str, int] = {
+    "MODEL": 0, "REFRESHED": 1, "STATIC": 2, "MAX_PERF": 3,
+}
+
+
+def check_deadline_semantics(sweep) -> list[CheckResult]:
+    """DEADLINE/SLA_SLACK selection rules on one measured sweep."""
+    results: list[CheckResult] = []
+    ctx = f"{sweep.kernel_name}@{sweep.device_name}"
+    times = np.asarray(sweep.time_s, dtype=float)
+    energies = np.asarray(sweep.energy_j, dtype=float)
+    t_min = float(np.min(times))
+    picked_energies: list[float] = []
+    for factor in DEADLINE_FACTORS:
+        deadline = factor * t_min
+        idx = deadline_index(times, energies, deadline)
+        tolerant = deadline * (1.0 + DEADLINE_RTOL)
+        feasible = np.flatnonzero(times <= tolerant)
+        if feasible.size:
+            results.append(
+                check(
+                    "adapt.deadline_met",
+                    bool(times[idx] <= tolerant),
+                    f"{ctx}: slack {factor:g}: picked {times[idx]:.6f}s "
+                    f"vs deadline {deadline:.6f}s",
+                )
+            )
+            results.append(
+                check(
+                    "adapt.deadline_min_energy",
+                    bool(energies[idx] <= float(np.min(energies[feasible]))),
+                    f"{ctx}: slack {factor:g}: picked {energies[idx]:.6f}J; "
+                    f"feasible minimum {float(np.min(energies[feasible])):.6f}J",
+                )
+            )
+        else:
+            results.append(
+                check(
+                    "adapt.deadline_infeasible_max_perf",
+                    idx == int(np.argmin(times)),
+                    f"{ctx}: slack {factor:g} is infeasible; selection must "
+                    "degrade to the fastest clock",
+                )
+            )
+        # Never slower than the MAX_PERF plan, feasible or not.
+        results.append(
+            check(
+                "adapt.deadline_never_slower_than_max_perf",
+                bool(times[idx] <= max(tolerant, t_min * (1.0 + DEADLINE_RTOL))),
+                f"{ctx}: slack {factor:g}: picked {times[idx]:.6f}s vs "
+                f"fastest {t_min:.6f}s",
+            )
+        )
+        picked_energies.append(float(energies[idx]))
+    results.append(
+        check(
+            "adapt.deadline_energy_monotone",
+            all(
+                later <= earlier * (1.0 + DEADLINE_RTOL)
+                for earlier, later in zip(picked_energies, picked_energies[1:])
+            ),
+            f"{ctx}: picked energies over loosening deadlines "
+            f"{[round(e, 4) for e in picked_energies]}",
+        )
+    )
+    sla_times: list[float] = []
+    for factor in SLA_FACTORS:
+        sla_idx = sweep.resolve(SLA_SLACK(factor))
+        dl_idx = sweep.resolve(DEADLINE(factor * t_min))
+        results.append(
+            check(
+                "adapt.sla_slack_equals_deadline",
+                sla_idx == dl_idx,
+                f"{ctx}: SLA_SLACK({factor:g}) -> {sla_idx}, "
+                f"DEADLINE({factor:g}×tmin) -> {dl_idx}",
+            )
+        )
+        sla_times.append(float(times[sla_idx]))
+    results.append(
+        check(
+            "adapt.sla_ladder_within_slack",
+            all(
+                t <= factor * t_min * (1.0 + DEADLINE_RTOL)
+                for factor, t in zip(SLA_FACTORS, sla_times)
+            ),
+            f"{ctx}: SLA times {[round(t, 6) for t in sla_times]} vs "
+            f"slacks {list(SLA_FACTORS)} × {t_min:.6f}s",
+        )
+    )
+    return results
+
+
+def check_ladder_transitions(
+    transitions: Sequence[Mapping[str, object]],
+) -> list[CheckResult]:
+    """Structural invariants of one JSON-form ladder transition log."""
+    monotone = all(
+        _RUNG_ORDER[str(t["to"])] > _RUNG_ORDER[str(t["from"])]
+        for t in transitions
+    )
+    contiguous = all(
+        str(b["from"]) == str(a["to"])
+        for a, b in zip(transitions, transitions[1:])
+    ) and (not transitions or str(transitions[0]["from"]) == "MODEL")
+    ordered = all(
+        float(b["t"]) >= float(a["t"])
+        for a, b in zip(transitions, transitions[1:])
+    )
+    path = " -> ".join(
+        [str(transitions[0]["from"])] + [str(t["to"]) for t in transitions]
+    ) if transitions else "(empty)"
+    return [
+        check(
+            "adapt.ladder_monotone_severity", monotone,
+            f"every transition must escalate: {path}",
+        ),
+        check(
+            "adapt.ladder_contiguous_from_model", contiguous,
+            f"walk must start at MODEL and chain rung to rung: {path}",
+        ),
+        check(
+            "adapt.ladder_times_ordered", ordered,
+            "transition timestamps must be non-decreasing",
+        ),
+    ]
+
+
+def check_thermal_drift(comparison) -> list[CheckResult]:
+    """Acceptance invariants of one thermal-drift chaos comparison."""
+    reached = {str(t["to"]) for t in comparison.transitions}
+    return [
+        check(
+            "adapt.chaos_baselines_clean",
+            comparison.max_perf.streams_missed == 0
+            and comparison.static_clean.streams_missed == 0,
+            f"max-perf missed {comparison.max_perf.streams_missed}, "
+            f"static-clean missed {comparison.static_clean.streams_missed} "
+            "(clean boards must meet every deadline)",
+        ),
+        check(
+            "adapt.chaos_static_plan_goes_stale",
+            comparison.static_fault.streams_missed >= 1,
+            f"stale static plan missed "
+            f"{comparison.static_fault.streams_missed} stream deadlines "
+            "under throttle (needs >= 1)",
+        ),
+        check(
+            "adapt.chaos_adaptive_misses_nothing",
+            comparison.adaptive_fault.streams_missed == 0,
+            f"adaptive run missed "
+            f"{comparison.adaptive_fault.streams_missed} stream deadlines "
+            "(must be 0)",
+        ),
+        check(
+            "adapt.chaos_drift_detected",
+            len(comparison.drift_events) >= 1,
+            f"{len(comparison.drift_events)} drift events",
+        ),
+        check(
+            "adapt.chaos_refresh_succeeded",
+            comparison.refreshes >= 1,
+            f"{comparison.refreshes} successful model refreshes",
+        ),
+        check(
+            "adapt.chaos_full_ladder_traversal",
+            {"REFRESHED", "STATIC", "MAX_PERF"} <= reached,
+            f"rungs reached: {sorted(reached)}",
+        ),
+        check(
+            "adapt.chaos_recovers_half_the_saving",
+            comparison.recovery_fraction >= 0.5,
+            f"recovered {comparison.recovery_fraction:.3f} of the "
+            f"pre-drift saving ({comparison.adaptive_saving:.3f} of "
+            f"{comparison.static_saving:.3f}; needs >= 0.5)",
+        ),
+    ]
+
+
+def check_drift_replay(first, second) -> list[CheckResult]:
+    """Same-seed chaos replays must reproduce the logs byte-for-byte."""
+
+    def _render(comparison) -> tuple[str, str]:
+        return (
+            json.dumps(list(comparison.drift_events), sort_keys=True),
+            json.dumps(list(comparison.transitions), sort_keys=True),
+        )
+
+    events1, trans1 = _render(first)
+    events2, trans2 = _render(second)
+    return [
+        check(
+            "adapt.drift_log_replay_identical",
+            events1 == events2,
+            f"{len(first.drift_events)} drift events replay byte-identically",
+        ),
+        check(
+            "adapt.transition_log_replay_identical",
+            trans1 == trans2,
+            f"{len(first.transitions)} transitions replay byte-identically",
+        ),
+    ]
+
+
+def run_adapt_checks(seed: int = 7) -> list[CheckResult]:
+    """The full adaptive-plane check suite (runner ``adapt`` section)."""
+    from repro.adapt.chaos import run_thermal_drift_comparison
+    from repro.apps import get_benchmark
+    from repro.experiments.sweep import sweep_kernel
+    from repro.hw.specs import NVIDIA_V100
+
+    results: list[CheckResult] = []
+    for name in ("gemm", "sobel3"):
+        sweep = sweep_kernel(NVIDIA_V100, get_benchmark(name).kernel)
+        results.extend(check_deadline_semantics(sweep))
+    first = run_thermal_drift_comparison(seed=seed)
+    second = run_thermal_drift_comparison(seed=seed)
+    results.extend(check_thermal_drift(first))
+    results.extend(check_ladder_transitions(first.transitions))
+    results.extend(check_drift_replay(first, second))
+    return results

@@ -22,8 +22,10 @@ from repro.validate.invariants import (
 )
 from repro.validate.result import ValidationReport
 
-#: The two seeded golden scenarios of the observability plane.
-GOLDEN_SCENARIOS: tuple[str, ...] = ("single-gpu", "slurm-faults")
+#: The seeded golden scenarios of the observability plane.
+GOLDEN_SCENARIOS: tuple[str, ...] = (
+    "single-gpu", "slurm-faults", "thermal-drift",
+)
 
 #: Kernel/device grid the sweep invariants run over: the golden-scenario
 #: kernels plus the Fig. 4 and Fig. 2 protagonists.
@@ -34,7 +36,7 @@ SWEEP_SPECS: tuple[GPUSpec, ...] = (NVIDIA_V100, AMD_MI100)
 
 #: Selectable report sections.
 SECTIONS: tuple[str, ...] = (
-    "sweeps", "powercap", "scenarios", "differential", "frontend",
+    "sweeps", "powercap", "scenarios", "differential", "frontend", "adapt",
 )
 
 
@@ -115,6 +117,14 @@ def _frontend_section(report: ValidationReport) -> None:
         report.extend(run_frontend_checks(NVIDIA_V100))
 
 
+def _adapt_section(report: ValidationReport, seed: int) -> None:
+    from repro.core.sweepcache import scoped_cache
+    from repro.validate.adapt import run_adapt_checks
+
+    with scoped_cache():
+        report.extend(run_adapt_checks(seed))
+
+
 def run_validation(
     scenarios: tuple[str, ...] | list[str] = GOLDEN_SCENARIOS,
     *,
@@ -146,4 +156,6 @@ def run_validation(
         _differential_section(report)
     if "frontend" in sections:
         _frontend_section(report)
+    if "adapt" in sections:
+        _adapt_section(report, seed)
     return report

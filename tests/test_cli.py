@@ -25,6 +25,7 @@ ALL_SUBCOMMANDS = [
     "validate",
     "analyze",
     "lint",
+    "adapt",
 ]
 
 
@@ -207,6 +208,20 @@ def test_validate_strict_scenario_subset(capsys):
     assert main(["validate", "--strict", "--scenario", "single-gpu",
                  "--only", "scenarios"]) == 0
     assert "strict" in capsys.readouterr().out
+
+
+def test_adapt_writes_comparison_json(tmp_path, capsys):
+    out = tmp_path / "thermal_drift.json"
+    assert main(["adapt", "--json", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "adaptive" in text
+    assert "MAX_PERF" in text  # the ladder table reaches the last rung
+    doc = json.loads(out.read_text())
+    assert doc["refreshes"] >= 1
+    assert doc["recovery_fraction"] >= 0.5
+    assert [run["label"] for run in doc["runs"]] == [
+        "max-perf", "static-clean", "static-fault", "adaptive-fault",
+    ]
 
 
 # ------------------------------------------------- smoke: analyze / lint

@@ -34,6 +34,17 @@ class TestTunerMechanics:
         with pytest.raises(ValidationError):
             OnlineFrequencyTuner((1000,), MIN_ENERGY)
 
+    @pytest.mark.parametrize("tolerance_steps", [0, -1, -7])
+    def test_non_positive_tolerance_rejected(self, tolerance_steps):
+        # Regression: tolerance_steps < 1 makes the bracket endgame
+        # unreachable, so the search would never declare convergence.
+        with pytest.raises(ValidationError, match="tolerance_steps"):
+            OnlineFrequencyTuner(
+                NVIDIA_V100.core_freqs_mhz,
+                MIN_ENERGY,
+                tolerance_steps=tolerance_steps,
+            )
+
     def test_first_probe_is_interior(self):
         tuner = OnlineFrequencyTuner(NVIDIA_V100.core_freqs_mhz, MIN_ENERGY)
         first = tuner.next_frequency("k")
