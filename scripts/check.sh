@@ -36,3 +36,6 @@ python -m repro.cli validate --strict
 
 echo "== adaptive plane (deadline semantics + thermal-drift chaos, strict) =="
 python -m repro.cli validate --only adapt --strict
+
+echo "== batched engine (vectorized vs scalar differential contract, strict) =="
+python -m repro.cli validate --only engine --strict

@@ -20,8 +20,9 @@ exposes the deployment and analysis workflows:
 - ``trace`` — run a seeded observability scenario and export its Chrome
   trace and metrics documents (see ``docs/OBSERVABILITY.md``),
 - ``validate`` — run the invariant catalog and differential harness over
-  the golden scenarios (see ``docs/VALIDATION.md``); ``--strict`` also
-  fails on warnings and is the CI gate in ``scripts/check.sh``,
+  the golden scenarios, including the batched-engine/scalar parity
+  section (``--only engine``; see ``docs/VALIDATION.md``); ``--strict``
+  also fails on warnings and is the CI gate in ``scripts/check.sh``,
 - ``analyze`` — run the §6.1 static-analysis front end over one kernel
   (``module:fn``, ``file.py:fn`` or a backed kernel name) and print its
   Table-1 features, locality and diagnostics (see ``docs/FRONTEND.md``),

@@ -183,6 +183,23 @@ class FrequencyScaler:
                 self.device.clock.now, "nvml.set_clocks", self.device.index, detail
             )
 
+    def charge_batched(self, n_switches: int) -> None:
+        """Account effective clock changes applied by the batched engine.
+
+        The engine advances the device clock and commits the clock plan
+        itself (one vectorized pass); this charges the scaler's counters
+        for ``n_switches`` effective changes. Overhead accumulates one
+        add per switch so the totals stay bitwise-identical to the
+        per-event path's repeated ``+=``.
+        """
+        if n_switches < 0:
+            raise ValidationError(
+                f"switch count cannot be negative ({n_switches!r})"
+            )
+        for _ in range(int(n_switches)):
+            self.total_overhead_s += self.switch_overhead_s
+        self.switch_count += int(n_switches)
+
     def reset(self) -> None:
         """Restore driver-default clocks (counts as one switch if effective)."""
         spec = self.device.spec

@@ -131,6 +131,28 @@ class SynergyQueue(Queue):
         finally:
             self._pending = None
 
+    def submit_batch(self, requests) -> "BatchResult":
+        """Submit a whole batch of kernels through the vectorized engine.
+
+        ``requests`` is an iterable of submit-style items — a bare
+        :class:`KernelIR`, ``(EnergyTarget, kernel)`` or
+        ``(mem_mhz, core_mhz, kernel)`` — or an already-assembled
+        :class:`~repro.engine.batch.KernelBatch`. Semantically equivalent
+        to looping :meth:`submit` over the items (and validated to be, by
+        ``repro-synergy validate --only engine``), but resolves clock
+        plans, switch charges and per-event energy integration in
+        broadcasted passes. ``submit_batch([])`` is a well-formed no-op.
+        """
+        from repro.engine.batch import KernelBatch
+        from repro.engine.executor import execute_batch
+
+        batch = (
+            requests
+            if isinstance(requests, KernelBatch)
+            else KernelBatch.from_requests(requests)
+        )
+        return execute_batch(self, batch)
+
     def _pre_kernel(self, kernel: KernelIR) -> None:
         """Apply the frequency configuration just before the kernel starts."""
         tr = self.trace

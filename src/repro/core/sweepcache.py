@@ -215,6 +215,28 @@ class SweepCache:
             freq_fingerprint(mem_mhz),
         )
 
+    def engine_key(
+        self,
+        spec: GPUSpec,
+        kernel: KernelIR,
+        core_mhz: np.ndarray,
+        mem_mhz: float,
+    ) -> tuple:
+        """Key for the batched engine's per-kernel operating-point tables.
+
+        One entry per ``(device, kernel, core table, memory clock)``: the
+        engine gathers per-submission timing/power columns from these
+        tables, so repeated batches over the same kernel mix hit instead
+        of re-sweeping.
+        """
+        return (
+            "engine-op",
+            spec_fingerprint(spec),
+            kernel_fingerprint(kernel),
+            freq_fingerprint(core_mhz),
+            float(mem_mhz),
+        )
+
 
 #: Process-global cache instance shared by all sweep call sites.
 _GLOBAL_CACHE = SweepCache()

@@ -15,7 +15,13 @@ speed or equivalence are visible across commits:
 - ``sweep_cache`` — cold vs warm pass over the training sweeps through
   the keyed sweep cache, with hit/miss counters,
 - ``forest_determinism`` — serial vs multi-worker training must produce
-  bitwise-identical forests.
+  bitwise-identical forests,
+- ``scenario_batched`` — a full cluster scenario (one exclusive 64-node
+  job, hundreds of mixed-target kernels per board) through the batched
+  virtual-time engine (``Scheduler.submit_many`` + ``submit_batch`` +
+  batched accounting) vs the per-event scalar reference (target ≥ 10×,
+  with per-record clock plans compared exactly and energies/times at
+  1e-12 relative).
 
 Equivalence tolerances: sweeps are compared at 1e-12 relative error
 (vectorized NumPy pow may differ from scalar libm pow by ~1 ulp); all ML
@@ -50,6 +56,7 @@ SPEEDUP_TARGETS: dict[str, float] = {
     "sweep_2d": 5.0,
     "forest_fit": 3.0,
     "forest_predict": 3.0,
+    "scenario_batched": 10.0,
 }
 
 #: Relative tolerance for vectorized-vs-scalar sweep equivalence.
@@ -86,6 +93,89 @@ def _record(
         "meets_target": bool(target is None or speedup >= target),
         "max_rel_err": max_rel_err,
     }
+
+
+def _batched_scenario(
+    n_nodes: int, kernels_per_board: int, repeats: int
+) -> tuple[float, float, float]:
+    """Time one exclusive whole-cluster job: batched engine vs scalar.
+
+    Twin clusters run the identical mixed-target submission stream per
+    board — once through ``Scheduler.submit`` + the per-event scalar
+    queue loop with scalar energy accounting, once through
+    ``Scheduler.submit_many`` + ``SynergyQueue.submit_batch`` with
+    batched accounting. Returns ``(baseline_s, fast_s, max_rel_err)``
+    after asserting per-record clock-plan identity and 1e-12 agreement
+    of energies, timestamps and the accounted job energy.
+    """
+    from repro.apps import get_benchmark
+    from repro.engine.payload import KernelBatchPayload, plan_from_sweeps
+    from repro.metrics.targets import (
+        DEADLINE,
+        MAX_PERF,
+        MIN_EDP,
+        MIN_ENERGY,
+        SLA_SLACK,
+    )
+    from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
+    from repro.slurm.job import JobSpec
+    from repro.slurm.plugin import NvGpuFreqPlugin
+    from repro.slurm.scheduler import Scheduler
+
+    spec = NVIDIA_V100
+    kernels = [get_benchmark(n).kernel for n in ("gemm", "sobel3", "median")]
+    targets = [MIN_EDP, MAX_PERF, MIN_ENERGY, DEADLINE(0.05), SLA_SLACK(1.3)]
+    plan = plan_from_sweeps(spec, kernels, targets)
+    table = spec.core_freqs_mhz
+    requests = tuple(
+        (spec.default_mem_mhz, table[(11 * i) % len(table)], kernels[i % 3])
+        if i % 4 == 3
+        else (targets[i % 5], kernels[i % 3])
+        for i in range(kernels_per_board)
+    )
+
+    def run(batched: bool):
+        cluster = Cluster.build(
+            spec, n_nodes=n_nodes, gpus_per_node=1, gres={NVGPUFREQ_GRES}
+        )
+        scheduler = Scheduler(cluster, plugins=[NvGpuFreqPlugin()])
+        job_spec = JobSpec(
+            name="scenario-batched",
+            n_nodes=n_nodes,
+            exclusive=True,
+            gres=frozenset({NVGPUFREQ_GRES}),
+            payload=KernelBatchPayload(
+                requests=requests, plan=plan, batched=batched
+            ),
+        )
+        if batched:
+            job = scheduler.submit_many([job_spec], accounting="batched")[0]
+        else:
+            job = scheduler.submit(job_spec)
+        return cluster, job
+
+    run(True)  # move lazy imports and sweep warmup off the timed path
+    base_s, (scalar_cluster, scalar_job) = _timed(lambda: run(False), repeats)
+    fast_s, (fast_cluster, fast_job) = _timed(lambda: run(True), repeats)
+
+    scalar_gpus = [g for node in scalar_cluster.nodes for g in node.gpus]
+    fast_gpus = [g for node in fast_cluster.nodes for g in node.gpus]
+    err = _max_rel_err([fast_job.gpu_energy_j], [scalar_job.gpu_energy_j])
+    for scalar_gpu, fast_gpu in zip(scalar_gpus, fast_gpus):
+        a, b = scalar_gpu.records, fast_gpu.records
+        assert len(a) == len(b) == kernels_per_board, (
+            "scenario_batched record counts diverged"
+        )
+        assert [(r.core_mhz, r.mem_mhz) for r in a] == [
+            (r.core_mhz, r.mem_mhz) for r in b
+        ], "scenario_batched clock plans diverged"
+        err = max(
+            err,
+            _max_rel_err([r.energy_j for r in b], [r.energy_j for r in a]),
+            _max_rel_err([r.end_s for r in b], [r.end_s for r in a]),
+        )
+    assert err < SWEEP_RTOL, f"scenario_batched equivalence broke: {err:.3e}"
+    return base_s, fast_s, err
 
 
 def run_perf_pipeline(
@@ -179,6 +269,12 @@ def run_perf_pipeline(
         extra = RandomForestRegressor(n_jobs=n_jobs, **params).fit(X, y)
         assert serialize_estimator(extra) == serialize_estimator(fast_forest)
 
+    # --- batched cluster scenario vs the scalar reference ----------------
+    n_nodes = 8 if quick else 64
+    kernels_per_board = 48 if quick else 384
+    base_s, fast_s, err = _batched_scenario(n_nodes, kernels_per_board, repeats)
+    sections.append(_record("scenario_batched", base_s, fast_s, err))
+
     # --- keyed sweep cache: cold vs warm ---------------------------------
     cache = SweepCache()
     cold_s, _ = _timed(
@@ -203,6 +299,8 @@ def run_perf_pipeline(
             "n_trees": n_trees,
             "training_rows": int(X.shape[0]),
             "predict_rows": int(Xq.shape[0]),
+            "scenario_nodes": n_nodes,
+            "scenario_kernels_per_board": kernels_per_board,
         },
         "sections": sections,
         "sweep_cache": cache_section,

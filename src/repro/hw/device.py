@@ -194,6 +194,60 @@ class SimulatedGPU:
         i = bisect.bisect_right(self._clock_times, t) - 1
         return self._clock_values[max(i, 0)]
 
+    def apply_clock_plan(
+        self,
+        times_s,
+        pairs,
+        *,
+        privileged: bool = False,
+    ) -> None:
+        """Commit a whole sequence of clock changes in one call.
+
+        The batched engine's analogue of repeated
+        :meth:`set_application_clocks` calls: ``pairs[i] = (core_mhz,
+        mem_mhz)`` lands on the history at ``times_s[i]`` (ascending).
+        The same privilege model applies; every pair is validated before
+        anything is committed, so a bad plan leaves the board untouched.
+        """
+        times_s = list(times_s)
+        pairs = [(int(c), int(m)) for c, m in pairs]
+        if len(times_s) != len(pairs):
+            raise SimulationError(
+                f"clock plan length mismatch ({len(times_s)} vs {len(pairs)})"
+            )
+        if not pairs:
+            return
+        if self.api_restricted and not privileged:
+            raise ClockPermissionError(
+                f"{self.spec.name}[{self.index}]: application clocks are "
+                "root-restricted (no SetAPIRestriction lowering in effect)"
+            )
+        for core, mem in set(pairs):
+            self.spec.validate_clocks(mem, core)
+        if any(b < a for a, b in zip(times_s, times_s[1:])):
+            raise SimulationError("clock plan times must be ascending")
+        if self._clock_times and times_s[0] < self._clock_times[-1]:
+            raise SimulationError(
+                f"clock plan starts at {times_s[0]!r}s, before the last "
+                f"recorded change at {self._clock_times[-1]!r}s"
+            )
+        if (
+            not (self._clock_times and self._clock_times[-1] == times_s[0])
+            and all(b > a for a, b in zip(times_s, times_s[1:]))
+        ):
+            # No merge-at-equal-time anywhere in this plan: bulk append.
+            self._clock_times.extend(float(t) for t in times_s)
+            self._clock_values.extend(pairs)
+        else:
+            for t, value in zip(times_s, pairs):
+                if self._clock_times and self._clock_times[-1] == t:
+                    self._clock_values[-1] = value
+                else:
+                    self._clock_times.append(float(t))
+                    self._clock_values.append(value)
+        self._core_mhz, self._mem_mhz = pairs[-1]
+        self.clock_set_calls += len(pairs)
+
     # -------------------------------------------------------------- execution
 
     def execute(self, kernel: KernelIR, submit_time: float | None = None) -> KernelExecutionRecord:
@@ -311,6 +365,35 @@ class SimulatedGPU:
         )
         return core_mhz, timing, power  # pragma: no cover
 
+    def extend_power_timeline(self, starts, ends, powers) -> None:
+        """Append a run of busy segments in one call (engine fast path).
+
+        Segments must be non-overlapping and ascending, starting no
+        earlier than the current queue drain time — the same invariant
+        serial :meth:`execute` calls maintain one segment at a time. The
+        device's busy horizon moves to the last segment's end; the caller
+        is responsible for advancing the virtual clock.
+        """
+        starts = [float(t) for t in starts]
+        ends = [float(t) for t in ends]
+        powers = [float(p) for p in powers]
+        if not (len(starts) == len(ends) == len(powers)):
+            raise SimulationError("segment arrays must have equal length")
+        if not starts:
+            return
+        bounds = [self._busy_until]
+        for s, e in zip(starts, ends):
+            bounds.extend((s, e))
+        if any(b < a for a, b in zip(bounds, bounds[1:])):
+            raise SimulationError(
+                "batched segments must be ascending and non-overlapping, "
+                "starting at or after the device busy horizon"
+            )
+        self._seg_start.extend(starts)
+        self._seg_end.extend(ends)
+        self._seg_power.extend(powers)
+        self._busy_until = ends[-1]
+
     # ------------------------------------------------------------------ power
 
     def instantaneous_power(self, t: float) -> float:
@@ -346,6 +429,71 @@ class SimulatedGPU:
         if cursor < t1:
             energy += self._idle_energy(cursor, t1)
         return energy
+
+    def energy_between_many(self, t0s, t1s) -> "np.ndarray":
+        """True board energies (J) over many windows in one vectorized pass.
+
+        The batched counterpart of :meth:`energy_between`: the power
+        timeline is decomposed once into piecewise-constant intervals
+        (busy-segment and clock-change breakpoints), and every window
+        integrates as one overlap product against those intervals. Sums
+        accumulate positive contributions only, so there is no
+        cancellation; agreement with per-window :meth:`energy_between`
+        is within a few ulp per interval.
+        """
+        import numpy as np
+
+        t0 = np.asarray(t0s, dtype=float)
+        t1 = np.asarray(t1s, dtype=float)
+        if t0.shape != t1.shape:
+            raise SimulationError(
+                f"window arrays have mismatched shapes ({t0.shape} vs {t1.shape})"
+            )
+        if t0.size == 0:
+            return np.zeros_like(t0)
+        if np.any(t1 < t0):
+            i = int(np.argmax(t1 < t0))
+            raise SimulationError(
+                f"energy window reversed: [{t0.flat[i]!r}, {t1.flat[i]!r}]"
+            )
+        seg_s = np.asarray(self._seg_start, dtype=float)
+        seg_e = np.asarray(self._seg_end, dtype=float)
+        seg_p = np.asarray(self._seg_power, dtype=float)
+        clk_t = np.asarray(self._clock_times, dtype=float)
+        # Breakpoints: every instant the board's power can change, plus a
+        # floor below every query so the first interval covers all windows.
+        floor = min(float(t0.min()), float(clk_t[0]))
+        edges = np.unique(np.concatenate(([floor], seg_s, seg_e, clk_t)))
+        # Extend the last interval past every query (idle tail).
+        ceil = max(float(t1.max()), float(edges[-1])) + 1.0
+        lo, hi = edges, np.append(edges[1:], ceil)
+        # Power over each interval [lo, hi): the busy segment covering it,
+        # or idle power at the clocks then in effect.
+        if seg_s.size:
+            i = np.searchsorted(seg_s, lo, side="right") - 1
+            ic = np.clip(i, 0, None)
+            busy = (i >= 0) & (lo < seg_e[ic])
+            p_busy = seg_p[ic]
+        else:
+            busy = np.zeros(lo.shape, dtype=bool)
+            p_busy = np.zeros(lo.shape)
+        j = np.maximum(np.searchsorted(clk_t, lo, side="right") - 1, 0)
+        cores = np.asarray([c for c, _ in self._clock_values], dtype=float)[j]
+        mems = np.asarray([m for _, m in self._clock_values], dtype=float)[j]
+        p_idle = np.asarray(
+            self.power_model.power(cores, mems, 0.0, 0.0), dtype=float
+        )
+        p = np.where(busy, p_busy, p_idle)
+        # Window x interval overlap, chunked to bound peak memory.
+        flat0, flat1 = t0.reshape(-1), t1.reshape(-1)
+        out = np.empty(flat0.shape)
+        chunk = max(1, 2_000_000 // max(lo.size, 1))
+        for k in range(0, flat0.size, chunk):
+            o0 = flat0[k : k + chunk, None]
+            o1 = flat1[k : k + chunk, None]
+            overlap = np.minimum(hi[None, :], o1) - np.maximum(lo[None, :], o0)
+            out[k : k + chunk] = np.clip(overlap, 0.0, None) @ p
+        return out.reshape(t0.shape)
 
     def _idle_energy(self, t0: float, t1: float) -> float:
         """Idle energy over a gap, split at clock-change boundaries."""

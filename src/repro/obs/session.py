@@ -162,6 +162,28 @@ def absorb_validation(trace: TraceSession, report) -> None:
     m.set_gauge("validate.passed", 1.0 if report.passed else 0.0)
 
 
+def absorb_engine(trace: TraceSession, result, prefix: str = "engine") -> None:
+    """Pull a :class:`~repro.engine.executor.BatchResult`'s totals into
+    the metrics plane.
+
+    One aggregate pass: batch size, effective switches, summed time and
+    energy, plus whether (and why) the batch fell back to the per-event
+    scalar path.
+    """
+    if not trace.enabled:
+        return
+    m = trace.metrics
+    summary = result.summary()
+    m.inc(f"{prefix}.kernels", int(summary["kernels"]))
+    m.inc(f"{prefix}.switches", int(summary["clock_switches"]))
+    if result.fallback is not None:
+        m.inc(f"{prefix}.fallbacks.{result.fallback}")
+    h = m.histogram(f"{prefix}.batch_kernels")
+    h.observe(float(len(result)))
+    m.set_gauge(f"{prefix}.last_batch_time_s", summary["kernel_time_s"])
+    m.set_gauge(f"{prefix}.last_batch_energy_j", summary["kernel_energy_j"])
+
+
 def absorb_scheduler(trace: TraceSession, scheduler) -> None:
     """Pull scheduler job-state totals (incl. requeues) into metrics."""
     if not trace.enabled:

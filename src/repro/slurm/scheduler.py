@@ -70,14 +70,21 @@ class Scheduler:
 
     # ------------------------------------------------------------- lifecycle
 
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec, *, accounting: str = "scalar") -> Job:
         """Run a job to completion, requeuing after node failures.
 
         Returns the *last* job of the requeue chain (the one that actually
         completed, failed, or exhausted the requeue budget); earlier
         attempts stay queryable through ``jobs`` / ``requeued_as`` links.
+        ``accounting`` picks the per-job GPU-energy reduction: ``"scalar"``
+        (per-segment Python integration, the reference) or ``"batched"``
+        (one vectorized timeline reduction per board).
         """
-        job = self._run_one(spec)
+        if accounting not in ("scalar", "batched"):
+            raise ConfigurationError(
+                f"accounting must be 'scalar' or 'batched' ({accounting!r})"
+            )
+        job = self._run_one(spec, accounting=accounting)
         requeues = 0
         while job.state is JobState.NODE_FAIL and requeues < self.max_requeues:
             if len(self.cluster.idle_nodes()) < spec.n_nodes:
@@ -92,19 +99,61 @@ class Scheduler:
                 self.cluster.clock.now, "slurm", "slurm.requeue", spec.name,
                 prev_job_id=job.job_id,
             )
-            job = self._run_one(spec, requeue_of=job)
+            job = self._run_one(spec, requeue_of=job, accounting=accounting)
         return job
 
-    def _run_one(self, spec: JobSpec, requeue_of: Job | None = None) -> Job:
+    def submit_many(self, specs, *, accounting: str = "batched") -> list[Job]:
+        """Run a batch of jobs to completion, in submission order.
+
+        Accepts a sequence of :class:`JobSpec` or a
+        :class:`~repro.engine.batch.JobBatch`. Each job goes through the
+        same :meth:`submit` core — allocation, requeue lineage, hooks —
+        but energy accounting defaults to the batched per-board reduction.
+        ``submit_many([])`` is a well-formed no-op: it emits an empty
+        ``slurm.submit_many`` span and returns no jobs.
+        """
+        from repro.engine.batch import JobBatch
+
+        if isinstance(specs, JobBatch):
+            specs = list(specs.specs)
+        else:
+            specs = list(JobBatch.from_specs(specs).specs)
+        tr = self.trace
+        if not specs:
+            if tr.enabled:
+                now = self.cluster.clock.now
+                tr.add_span(
+                    "slurm", "slurm.submit_many", "submit_many[0]",
+                    now, now, jobs=0, completed=0,
+                )
+            return []
+        if not tr.enabled:
+            return [self.submit(spec, accounting=accounting) for spec in specs]
+        with tr.span(
+            self.cluster.clock, "slurm", "slurm.submit_many",
+            f"submit_many[{len(specs)}]", jobs=len(specs),
+        ) as sp:
+            jobs = [self.submit(spec, accounting=accounting) for spec in specs]
+            sp.set(
+                completed=sum(j.state is JobState.COMPLETED for j in jobs)
+            )
+        return jobs
+
+    def _run_one(
+        self,
+        spec: JobSpec,
+        requeue_of: Job | None = None,
+        accounting: str = "scalar",
+    ) -> Job:
         """Allocate, run hooks, execute the payload, account, clean up."""
         tr = self.trace
         if not tr.enabled:
-            return self._run_one_inner(spec, requeue_of)
+            return self._run_one_inner(spec, requeue_of, accounting)
         with tr.span(
             self.cluster.clock, "slurm", "slurm.job", spec.name,
             requeue=requeue_of is not None,
         ) as sp:
-            job = self._run_one_inner(spec, requeue_of)
+            job = self._run_one_inner(spec, requeue_of, accounting)
             sp.set(
                 job_id=job.job_id,
                 state=job.state.value,
@@ -112,7 +161,55 @@ class Scheduler:
             )
             return job
 
-    def _run_one_inner(self, spec: JobSpec, requeue_of: Job | None = None) -> Job:
+    def _run_one_inner(
+        self,
+        spec: JobSpec,
+        requeue_of: Job | None = None,
+        accounting: str = "scalar",
+    ) -> Job:
+        job = self._allocate(spec, requeue_of)
+        try:
+            # The prologue is inside the try so a prologue fault (a real
+            # SLURM failure mode) still runs the epilogue cleanup below —
+            # the §7.2 guarantee that no node leaks a degraded state.
+            for plugin in self.plugins:
+                for node in job.nodes:
+                    with self.trace.span(
+                        self.cluster.clock, "slurm", "slurm.prologue",
+                        node.name, job_id=job.job_id,
+                    ):
+                        plugin.prologue(job, node)
+            if spec.payload is not None:
+                context = JobContext(
+                    job_id=job.job_id,
+                    nodes=job.nodes,
+                    clock=self.cluster.clock,
+                    trace=self.trace,
+                    validator=self.cluster.validator,
+                )
+                job.result = spec.payload(context)
+            job.state = JobState.COMPLETED
+        except NodeFailure as exc:  # a node died under the job: drain, requeue
+            job.state = JobState.NODE_FAIL
+            job.error = f"NodeFailure: {exc}"
+            self._drain(exc.nodes, job)
+        except Exception as exc:  # payload failures must not wedge the node
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._complete(job, accounting)
+        return job
+
+    # ------------------------------------------------------------ allocation
+
+    def _allocate(self, spec: JobSpec, requeue_of: Job | None = None) -> Job:
+        """Create and start a job: nodes claimed, clocks synchronized.
+
+        The beginning half of the job lifecycle, shared by :meth:`submit`
+        and :meth:`submit_many`; :meth:`_complete` is the matching end.
+        Raises :class:`ConfigurationError` (job left PENDING, no nodes
+        claimed) when not enough nodes are idle.
+        """
         job = Job(
             job_id=next(self._job_ids),
             spec=spec,
@@ -123,7 +220,13 @@ class Scheduler:
             job.requeue_of = requeue_of.job_id
             requeue_of.requeued_as = job.job_id
 
-        nodes = self._allocate(spec)
+        idle = self.cluster.idle_nodes()
+        if len(idle) < spec.n_nodes:
+            raise ConfigurationError(
+                f"job {spec.name!r} needs {spec.n_nodes} nodes; only "
+                f"{len(idle)} idle"
+            )
+        nodes = idle[: spec.n_nodes]
         job.nodes = nodes
         for node in nodes:
             node.running_job = job.job_id
@@ -141,70 +244,40 @@ class Scheduler:
             for gpu in node.gpus:
                 gpu.clock.advance_to(start)
         job.start_time_s = start
-
-        try:
-            # The prologue is inside the try so a prologue fault (a real
-            # SLURM failure mode) still runs the epilogue cleanup below —
-            # the §7.2 guarantee that no node leaks a degraded state.
-            for plugin in self.plugins:
-                for node in nodes:
-                    with self.trace.span(
-                        self.cluster.clock, "slurm", "slurm.prologue",
-                        node.name, job_id=job.job_id,
-                    ):
-                        plugin.prologue(job, node)
-            if spec.payload is not None:
-                context = JobContext(
-                    job_id=job.job_id,
-                    nodes=nodes,
-                    clock=self.cluster.clock,
-                    trace=self.trace,
-                    validator=self.cluster.validator,
-                )
-                job.result = spec.payload(context)
-            job.state = JobState.COMPLETED
-        except NodeFailure as exc:  # a node died under the job: drain, requeue
-            job.state = JobState.NODE_FAIL
-            job.error = f"NodeFailure: {exc}"
-            self._drain(exc.nodes, job)
-        except Exception as exc:  # payload failures must not wedge the node
-            job.state = JobState.FAILED
-            job.error = f"{type(exc).__name__}: {exc}"
-        finally:
-            # The job ends when its slowest board drains; re-synchronize
-            # every allocated board and the wall clock to that instant.
-            end = max(
-                [self.cluster.clock.now]
-                + [gpu.clock.now for node in nodes for gpu in node.gpus]
-            )
-            self.cluster.clock.advance_to(end)
-            for node in nodes:
-                for gpu in node.gpus:
-                    gpu.clock.advance_to(end)
-            job.end_time_s = end
-            job.gpu_energy_j = self._account_energy(job)
-            for plugin in self.plugins:
-                for node in nodes:
-                    with self.trace.span(
-                        self.cluster.clock, "slurm", "slurm.epilogue",
-                        node.name, job_id=job.job_id,
-                    ):
-                        plugin.epilogue(job, node)
-            for node in nodes:
-                node.running_job = None
-                node.exclusive = False
         return job
 
-    # ------------------------------------------------------------ allocation
+    def _complete(self, job: Job, accounting: str = "scalar") -> None:
+        """Finish a started job: end sync, accounting, epilogues, release.
 
-    def _allocate(self, spec: JobSpec) -> list[Node]:
-        idle = self.cluster.idle_nodes()
-        if len(idle) < spec.n_nodes:
-            raise ConfigurationError(
-                f"job {spec.name!r} needs {spec.n_nodes} nodes; only "
-                f"{len(idle)} idle"
-            )
-        return idle[: spec.n_nodes]
+        Runs in the ``finally`` of the job lifecycle, so cleanup happens
+        whether the payload completed, failed, or took its nodes down.
+        """
+        nodes = job.nodes
+        # The job ends when its slowest board drains; re-synchronize
+        # every allocated board and the wall clock to that instant.
+        end = max(
+            [self.cluster.clock.now]
+            + [gpu.clock.now for node in nodes for gpu in node.gpus]
+        )
+        self.cluster.clock.advance_to(end)
+        for node in nodes:
+            for gpu in node.gpus:
+                gpu.clock.advance_to(end)
+        job.end_time_s = end
+        if accounting == "batched":
+            job.gpu_energy_j = self._account_energy_batched(job)
+        else:
+            job.gpu_energy_j = self._account_energy(job)
+        for plugin in self.plugins:
+            for node in nodes:
+                with self.trace.span(
+                    self.cluster.clock, "slurm", "slurm.epilogue",
+                    node.name, job_id=job.job_id,
+                ):
+                    plugin.epilogue(job, node)
+        for node in nodes:
+            node.running_job = None
+            node.exclusive = False
 
     def _drain(self, node_names: tuple[str, ...], job: Job) -> None:
         """Take failed nodes out of service and mark their boards lost."""
@@ -237,6 +310,25 @@ class Scheduler:
             for gpu in node.gpus:
                 total += gpu.energy_between(job.start_time_s, job.end_time_s)
         return total
+
+    def _account_energy_batched(self, job: Job) -> float:
+        """Job GPU energy as one vectorized timeline reduction per board.
+
+        Same window and node-major summation order as
+        :meth:`_account_energy`; per-board values agree with the scalar
+        integration within a few ulp per timeline interval.
+        """
+        import numpy as np
+
+        from repro.engine.payload import board_energies
+
+        assert job.start_time_s is not None and job.end_time_s is not None
+        gpus = [gpu for node in job.nodes for gpu in node.gpus]
+        if not gpus:
+            return 0.0
+        return float(
+            np.sum(board_energies(gpus, job.start_time_s, job.end_time_s))
+        )
 
     def job_report(self, job_id: int) -> dict[str, object]:
         """``sacct``-style summary for one job."""

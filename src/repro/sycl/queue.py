@@ -113,6 +113,15 @@ class Queue:
         """All events produced by this queue, in submission order."""
         return tuple(self._events)
 
+    def _absorb_events(self, events: "list[Event]") -> None:
+        """Adopt externally materialized events (batched engine commit).
+
+        The batched executor computes whole submission runs out-of-line
+        and hands the finished events back here so ``events`` /
+        ``kernel_stats`` keep their submission-order contract.
+        """
+        self._events.extend(events)
+
     # ------------------------------------------------------------ internals
 
     def _launch(self, handler: Handler) -> Event:

@@ -37,6 +37,7 @@ SWEEP_SPECS: tuple[GPUSpec, ...] = (NVIDIA_V100, AMD_MI100)
 #: Selectable report sections.
 SECTIONS: tuple[str, ...] = (
     "sweeps", "powercap", "scenarios", "differential", "frontend", "adapt",
+    "engine",
 )
 
 
@@ -117,6 +118,14 @@ def _frontend_section(report: ValidationReport) -> None:
         report.extend(run_frontend_checks(NVIDIA_V100))
 
 
+def _engine_section(report: ValidationReport) -> None:
+    from repro.core.sweepcache import scoped_cache
+    from repro.validate.engine import run_engine_checks
+
+    with scoped_cache():
+        report.extend(run_engine_checks(NVIDIA_V100))
+
+
 def _adapt_section(report: ValidationReport, seed: int) -> None:
     from repro.core.sweepcache import scoped_cache
     from repro.validate.adapt import run_adapt_checks
@@ -158,4 +167,6 @@ def run_validation(
         _frontend_section(report)
     if "adapt" in sections:
         _adapt_section(report, seed)
+    if "engine" in sections:
+        _engine_section(report)
     return report

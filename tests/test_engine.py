@@ -1,0 +1,418 @@
+"""Batched virtual-time engine tests.
+
+Unit coverage for the struct-of-arrays batch layer (assembly, empty
+edges, fallback gates, the bulk device APIs) plus a Hypothesis property
+suite driving random kernel mixes, explicit clock pairs and energy
+targets (including DEADLINE and SLA) through ``submit_batch`` and the
+scalar reference loop side by side: element-wise parity of the resulting
+records, and permutation invariance of the aggregate batch energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    SimulationError,
+    ValidationError,
+)
+from repro.core.queue import SynergyQueue
+from repro.engine import (
+    BatchResult,
+    JobBatch,
+    KernelBatch,
+    KernelBatchPayload,
+    board_energies,
+    plan_from_sweeps,
+)
+from repro.hw.device import SimulatedGPU
+from repro.hw.specs import NVIDIA_V100
+from repro.kernelir.kernel import KernelIR
+from repro.metrics.targets import (
+    DEADLINE,
+    MAX_PERF,
+    MIN_EDP,
+    MIN_ENERGY,
+    SLA_SLACK,
+)
+from repro.obs.session import TraceSession, absorb_engine
+
+pytestmark = pytest.mark.engine
+
+RTOL = 1e-12
+
+#: The target mix every parity case draws from (incl. DEADLINE and SLA).
+TARGETS = (
+    MIN_EDP,
+    MAX_PERF,
+    MIN_ENERGY,
+    DEADLINE(0.01),
+    DEADLINE(0.05),
+    SLA_SLACK(1.1),
+    SLA_SLACK(1.5),
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_pool():
+    from repro.apps import get_benchmark
+
+    return [get_benchmark(n).kernel for n in ("gemm", "sobel3", "median")]
+
+
+@pytest.fixture(scope="module")
+def plan(kernel_pool):
+    return plan_from_sweeps(NVIDIA_V100, kernel_pool, TARGETS)
+
+
+def _scalar_replay(queue: SynergyQueue, requests) -> None:
+    from repro.metrics.targets import EnergyTarget
+
+    for item in requests:
+        if isinstance(item, KernelIR):
+            queue.submit(lambda h, k=item: h.parallel_for(k.work_items, k))
+        elif isinstance(item[0], EnergyTarget):
+            target, kernel = item
+            queue.submit(
+                target, lambda h, k=kernel: h.parallel_for(k.work_items, k)
+            )
+        else:
+            mem, core, kernel = item
+            queue.submit(
+                mem, core, lambda h, k=kernel: h.parallel_for(k.work_items, k)
+            )
+    queue.wait()
+
+
+def _assert_twin_parity(scalar_gpu: SimulatedGPU, batched_gpu: SimulatedGPU):
+    a, b = scalar_gpu.records, batched_gpu.records
+    assert len(a) == len(b)
+    assert [(r.core_mhz, r.mem_mhz) for r in a] == [
+        (r.core_mhz, r.mem_mhz) for r in b
+    ]
+    assert scalar_gpu._clock_values == batched_gpu._clock_values
+    np.testing.assert_allclose(
+        [r.start_s for r in a], [r.start_s for r in b], rtol=RTOL
+    )
+    np.testing.assert_allclose(
+        [r.end_s for r in a], [r.end_s for r in b], rtol=RTOL
+    )
+    np.testing.assert_allclose(
+        [r.energy_j for r in a], [r.energy_j for r in b], rtol=RTOL
+    )
+    np.testing.assert_allclose(
+        scalar_gpu._clock_times, batched_gpu._clock_times, rtol=RTOL
+    )
+
+
+# ------------------------------------------------------------ batch assembly
+
+
+class TestKernelBatch:
+    def test_from_requests_accepts_all_submit_forms(self, kernel_pool):
+        gemm = kernel_pool[0]
+        batch = KernelBatch.from_requests(
+            [gemm, (MIN_EDP, gemm), (877, 1200, gemm)]
+        )
+        assert len(batch) == 3
+        assert batch.requests == (None, MIN_EDP, (877, 1200))
+
+    def test_from_requests_rejects_unknown_items(self, kernel_pool):
+        with pytest.raises(ValidationError, match="batch items"):
+            KernelBatch.from_requests([("not", "a", "request")])
+
+    def test_explicit_clock_validation_runs_at_assembly(self, kernel_pool):
+        batch = KernelBatch.from_requests([(877, 123456, kernel_pool[0])])
+        with pytest.raises(ConfigurationError, match="unsupported core"):
+            batch.validate_explicit_clocks(NVIDIA_V100)
+
+    def test_job_batch_rejects_non_specs(self):
+        with pytest.raises(ValidationError, match="JobSpec"):
+            JobBatch.from_specs(["nope"])
+
+
+# ------------------------------------------------------------- empty edges
+
+
+class TestEmptyBatches:
+    def test_empty_submit_batch_is_a_wellformed_noop(self):
+        trace = TraceSession()
+        gpu = SimulatedGPU(NVIDIA_V100)
+        queue = SynergyQueue(gpu, trace=trace)
+        before = (gpu.clock.now, gpu.clock_set_calls)
+        result = queue.submit_batch([])
+        assert isinstance(result, BatchResult)
+        assert len(result) == 0 and result.fallback is None
+        assert result.summary() == {
+            "kernels": 0.0,
+            "kernel_time_s": 0.0,
+            "kernel_energy_j": 0.0,
+            "clock_switches": 0.0,
+        }
+        assert (gpu.clock.now, gpu.clock_set_calls) == before
+        assert queue.events == ()
+        assert trace.tracer.span_counts().get("engine.batch") == 1
+        assert trace.metrics.counter("engine.batches").value == 1
+
+    def test_empty_submit_many_is_a_wellformed_noop(self):
+        from repro.slurm.cluster import Cluster
+        from repro.slurm.scheduler import Scheduler
+
+        trace = TraceSession()
+        cluster = Cluster.build(
+            NVIDIA_V100, n_nodes=1, gpus_per_node=1, trace=trace
+        )
+        scheduler = Scheduler(cluster)
+        assert scheduler.submit_many([]) == []
+        assert scheduler.jobs == {}
+        assert trace.tracer.span_counts().get("slurm.submit_many") == 1
+
+    def test_submit_rejects_unknown_accounting(self):
+        from repro.slurm.cluster import Cluster
+        from repro.slurm.job import JobSpec
+        from repro.slurm.scheduler import Scheduler
+
+        cluster = Cluster.build(NVIDIA_V100, n_nodes=1, gpus_per_node=1)
+        scheduler = Scheduler(cluster)
+        with pytest.raises(ConfigurationError, match="accounting"):
+            scheduler.submit(JobSpec(name="j", n_nodes=1), accounting="magic")
+
+
+# ---------------------------------------------------------- fallback gates
+
+
+class TestFallbacks:
+    def test_restricted_board_without_switches_stays_fast(self, kernel_pool):
+        gpu = SimulatedGPU(NVIDIA_V100)
+        gpu.set_api_restriction(True)
+        result = SynergyQueue(gpu).submit_batch([kernel_pool[0]] * 3)
+        assert result.fallback is None
+        assert len(gpu.records) == 3
+
+    def test_restricted_board_with_switches_matches_scalar_error(
+        self, kernel_pool, plan
+    ):
+        requests = [(MIN_EDP, kernel_pool[0])]
+        scalar_gpu = SimulatedGPU(NVIDIA_V100)
+        scalar_gpu.set_api_restriction(True)
+        with pytest.raises(Exception) as scalar_exc:
+            _scalar_replay(SynergyQueue(scalar_gpu, plan=plan), requests)
+        batched_gpu = SimulatedGPU(NVIDIA_V100)
+        batched_gpu.set_api_restriction(True)
+        with pytest.raises(Exception) as batched_exc:
+            SynergyQueue(batched_gpu, plan=plan).submit_batch(requests)
+        assert type(batched_exc.value) is type(scalar_exc.value)
+        assert scalar_gpu.records == batched_gpu.records == []
+
+    def test_validator_enabled_falls_back(self, kernel_pool):
+        gpu = SimulatedGPU(NVIDIA_V100)
+        queue = SynergyQueue(gpu, validate=True)
+        result = queue.submit_batch([kernel_pool[0]])
+        assert result.fallback == "validator"
+        assert len(gpu.records) == 1
+
+    def test_validator_fallback_matches_scalar_twin(self, kernel_pool, plan):
+        requests = [(t, k) for t in (MIN_EDP, MAX_PERF) for k in kernel_pool]
+        scalar_gpu = SimulatedGPU(NVIDIA_V100)
+        _scalar_replay(SynergyQueue(scalar_gpu, plan=plan, validate=True), requests)
+        batched_gpu = SimulatedGPU(NVIDIA_V100)
+        batched_queue = SynergyQueue(batched_gpu, plan=plan, validate=True)
+        result = batched_queue.submit_batch(requests)
+        batched_queue.wait()
+        assert result.fallback == "validator"
+        _assert_twin_parity(scalar_gpu, batched_gpu)
+
+
+# ------------------------------------------------------- bulk device APIs
+
+
+class TestBulkDeviceAPIs:
+    def test_apply_clock_plan_requires_ascending_times(self, v100):
+        with pytest.raises(SimulationError, match="ascending"):
+            v100.apply_clock_plan([1.0, 0.5], [(1523, 877), (1530, 877)])
+
+    def test_apply_clock_plan_rejects_past_times(self, v100):
+        v100.set_application_clocks(877, 1523)
+        with pytest.raises(SimulationError, match="before the last"):
+            v100.apply_clock_plan([-1.0], [(1530, 877)])
+
+    def test_apply_clock_plan_merges_equal_times(self, v100):
+        v100.apply_clock_plan(
+            [0.5, 0.5, 1.0], [(1523, 877), (1530, 877), (135, 877)]
+        )
+        assert v100.clocks_at(0.75) == (1530, 877)
+        assert (v100.core_mhz, v100.mem_mhz) == (135, 877)
+
+    def test_apply_clock_plan_validates_before_committing(self, v100):
+        history = list(v100._clock_values)
+        with pytest.raises(ConfigurationError):
+            v100.apply_clock_plan([0.5, 1.0], [(1523, 877), (1523, 1)])
+        assert v100._clock_values == history
+
+    def test_energy_between_many_matches_scalar(self, v100, kernel_pool):
+        queue = SynergyQueue(v100)
+        _scalar_replay(queue, [(877, f, kernel_pool[0]) for f in (1380, 900)])
+        t0 = np.asarray([0.0, v100.records[0].end_s])
+        t1 = np.asarray([v100.records[0].end_s, v100.clock.now])
+        many = v100.energy_between_many(t0, t1)
+        scalar = [v100.energy_between(a, b) for a, b in zip(t0, t1)]
+        np.testing.assert_allclose(many, scalar, rtol=RTOL)
+
+    def test_window_energies_parity_and_device_check(self, v100, kernel_pool):
+        queue = SynergyQueue(v100)
+        result = queue.submit_batch([(877, 1380, k) for k in kernel_pool])
+        per_event = [
+            queue.kernel_energy_consumption(e, true_value=True)
+            for e in result.events
+        ]
+        batched = queue.profiler.window_energies(result.events, true_value=True)
+        np.testing.assert_allclose(batched, per_event, rtol=RTOL)
+        assert queue.profiler.window_energies([]).shape == (0,)
+        other = SynergyQueue(SimulatedGPU(NVIDIA_V100))
+        with pytest.raises(ValidationError, match="different device"):
+            other.profiler.window_energies(result.events)
+
+
+# ------------------------------------------------------ scheduler batching
+
+
+class TestSubmitMany:
+    def test_batched_accounting_matches_scalar(self, kernel_pool, plan):
+        from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
+        from repro.slurm.job import JobSpec
+        from repro.slurm.plugin import NvGpuFreqPlugin
+        from repro.slurm.scheduler import Scheduler
+
+        requests = tuple((t, k) for t in (MIN_EDP, MAX_PERF) for k in kernel_pool)
+
+        def run(batched: bool):
+            cluster = Cluster.build(
+                NVIDIA_V100, n_nodes=2, gpus_per_node=1, gres={NVGPUFREQ_GRES}
+            )
+            scheduler = Scheduler(cluster, plugins=[NvGpuFreqPlugin()])
+            specs = [
+                JobSpec(
+                    name=f"job-{i}",
+                    n_nodes=1,
+                    exclusive=True,
+                    gres=frozenset({NVGPUFREQ_GRES}),
+                    payload=KernelBatchPayload(
+                        requests=requests, plan=plan, batched=batched
+                    ),
+                )
+                for i in range(3)
+            ]
+            if batched:
+                return scheduler.submit_many(specs, accounting="batched")
+            return [scheduler.submit(spec) for spec in specs]
+
+        scalar_jobs = run(False)
+        batched_jobs = run(True)
+        scalar_agg = JobBatch.collect(scalar_jobs)
+        batched_agg = JobBatch.collect(batched_jobs)
+        assert list(scalar_agg["state"]) == ["COMPLETED"] * 3
+        assert list(batched_agg["state"]) == ["COMPLETED"] * 3
+        np.testing.assert_allclose(
+            batched_agg["gpu_energy_j"], scalar_agg["gpu_energy_j"], rtol=RTOL
+        )
+        np.testing.assert_allclose(
+            batched_agg["end_s"], scalar_agg["end_s"], rtol=RTOL
+        )
+
+    def test_board_energies_matches_accounted_energy(self, kernel_pool):
+        gpu = SimulatedGPU(NVIDIA_V100)
+        queue = SynergyQueue(gpu)
+        queue.submit_batch([(877, 1380, k) for k in kernel_pool])
+        queue.wait()
+        (total,) = board_energies([gpu], 0.0, gpu.clock.now)
+        assert total == pytest.approx(
+            gpu.energy_between(0.0, gpu.clock.now), rel=RTOL
+        )
+
+
+# ----------------------------------------------------------- observability
+
+
+class TestAbsorbEngine:
+    def test_absorb_engine_rolls_up_batch_totals(self, v100, kernel_pool):
+        trace = TraceSession()
+        queue = SynergyQueue(v100)
+        result = queue.submit_batch([(877, 1380, k) for k in kernel_pool])
+        absorb_engine(trace, result)
+        assert trace.metrics.counter("engine.kernels").value == 3
+        assert (
+            trace.metrics.counter("engine.switches").value
+            == result.n_switches
+        )
+
+    def test_batch_result_arrays_are_frozen(self, v100, kernel_pool):
+        result = SynergyQueue(v100).submit_batch([kernel_pool[0]])
+        with pytest.raises(ValueError):
+            result.energy_j[0] = 0.0
+
+
+# -------------------------------------------------------- property suite
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def request_streams(draw, explicit_only: bool = False):
+    """A random submission stream over the fixed kernel pool.
+
+    Items cover every submit form: bare kernels (skipped when
+    ``explicit_only`` — their effective clocks depend on batch order),
+    explicit clock pairs from the V100 table, and plan targets including
+    DEADLINE and SLA.
+    """
+    from repro.apps import get_benchmark
+
+    kernels = [get_benchmark(n).kernel for n in ("gemm", "sobel3", "median")]
+    table = NVIDIA_V100.core_freqs_mhz
+    n = draw(st.integers(1, 12))
+    items = []
+    for _ in range(n):
+        kernel = kernels[draw(st.integers(0, len(kernels) - 1))]
+        form = draw(st.integers(1 if explicit_only else 0, 2))
+        if form == 0:
+            items.append(kernel)
+        elif form == 1:
+            core = table[draw(st.integers(0, len(table) - 1))]
+            items.append((NVIDIA_V100.default_mem_mhz, core, kernel))
+        else:
+            items.append((TARGETS[draw(st.integers(0, len(TARGETS) - 1))], kernel))
+    return items
+
+
+class TestBatchScalarProperties:
+    @given(request_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_elementwise_parity_with_scalar_path(self, plan, requests):
+        scalar_gpu = SimulatedGPU(NVIDIA_V100)
+        _scalar_replay(SynergyQueue(scalar_gpu, plan=plan), requests)
+        batched_gpu = SimulatedGPU(NVIDIA_V100)
+        batched_queue = SynergyQueue(batched_gpu, plan=plan)
+        result = batched_queue.submit_batch(requests)
+        batched_queue.wait()
+        assert result.fallback is None
+        _assert_twin_parity(scalar_gpu, batched_gpu)
+
+    @given(request_streams(explicit_only=True), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_aggregate_energy_is_permutation_invariant(
+        self, plan, requests, rng
+    ):
+        """Reordering a batch of explicit-request submissions must not
+        change the total kernel energy: each record's energy depends only
+        on its (kernel, clocks) operating point, never on its neighbours.
+        """
+        shuffled = list(requests)
+        rng.shuffle(shuffled)
+        base = SynergyQueue(SimulatedGPU(NVIDIA_V100), plan=plan)
+        perm = SynergyQueue(SimulatedGPU(NVIDIA_V100), plan=plan)
+        e_base = float(np.sum(base.submit_batch(requests).energy_j))
+        e_perm = float(np.sum(perm.submit_batch(shuffled).energy_j))
+        assert e_perm == pytest.approx(e_base, rel=1e-9)
