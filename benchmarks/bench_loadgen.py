@@ -1,0 +1,69 @@
+"""Tracked perf benchmark: the full-scale multi-tenant load generator.
+
+Runs :func:`repro.service.loadgen.run_loadgen` at the acceptance
+configuration (160k seeded submissions across 64 tenants on 8 sharded
+partitions), asserts the scale floor (≥100k drained submissions, ≥64
+tenants served), the tenancy accounting, and the energy story (positive
+cluster joules saved vs the MAX_PERF baseline), and merges the
+``loadgen`` section into ``BENCH_perf.json`` at the repo root so the
+numbers are tracked across commits.
+
+Excluded from tier-1 (the ``perf`` marker): the full run sweeps the
+whole kernel pool and takes ~10 s. Run explicitly with
+``pytest benchmarks/bench_loadgen.py -m perf``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.service import run_loadgen
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def section():
+    return run_loadgen(seed=7, json_path=REPO_ROOT / "BENCH_perf.json")
+
+
+def test_section_written(section):
+    import json
+
+    doc = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    assert doc["loadgen"]["seed"] == 7
+    assert not doc["loadgen"]["quick"]
+
+
+def test_scale_floor(section):
+    assert section["n_tenants"] >= 64
+    assert section["n_submissions"] >= 100_000
+    assert section["drained"] >= 100_000
+    assert len(section["tenants"]) == section["n_tenants"]
+
+
+def test_accounting_closes(section):
+    assert section["admitted"] + section["rejected"] == section["n_submissions"]
+    assert section["admitted"] == section["drained"]  # all cycles drained
+    per_tenant = sum(t["drained"] for t in section["tenants"])
+    assert per_tenant == section["drained"]
+
+
+def test_rejection_paths_exercised(section):
+    assert section["rejected"] > 0
+    rejected_tenants = [t for t in section["tenants"] if t["rejected"]]
+    assert rejected_tenants
+
+
+def test_latency_percentiles_reported(section):
+    assert 0.0 <= section["p50_latency_s"] <= section["p99_latency_s"]
+
+
+def test_energy_saved_vs_max_perf(section):
+    assert section["saved_j"] > 0.0
+    assert section["kernel_energy_j"] < section["baseline_kernel_energy_j"]
+    # Per-tenant savings roll up to the cluster number.
+    rollup = sum(t["saved_j"] for t in section["tenants"])
+    assert abs(rollup - section["saved_j"]) < 1e-6 * max(section["saved_j"], 1)

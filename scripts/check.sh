@@ -39,3 +39,9 @@ python -m repro.cli validate --only adapt --strict
 
 echo "== batched engine (vectorized vs scalar differential contract, strict) =="
 python -m repro.cli validate --only engine --strict
+
+echo "== service plane (tenancy invariants + replay identity, strict) =="
+python -m repro.cli validate --only service --strict
+
+echo "== loadgen smoke (quick: 8 tenants x 2k submissions, no JSON) =="
+python -m repro.cli loadgen --quick --json ''

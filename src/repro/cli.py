@@ -602,6 +602,133 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tenant_rows(tenants: list[dict]) -> list[list[object]]:
+    """Wattlytics-style per-tenant accounting rows."""
+    return [
+        [
+            row["tenant"],
+            row["priority"],
+            row["target"],
+            row["shard"],
+            row["admitted"],
+            row["rejected"],
+            row["drained"],
+            f"{row['energy_j']:.3f}",
+            f"{row['saved_j']:.3f}",
+            "-" if row["p99_latency_s"] is None
+            else f"{row['p99_latency_s']:.3f}",
+        ]
+        for row in tenants
+    ]
+
+
+_TENANT_HEADERS = [
+    "tenant", "prio", "target", "shard", "admitted", "rejected",
+    "drained", "energy (J)", "saved (J)", "p99 lat (s)",
+]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError, ValidationError
+    from repro.core.sweepcache import scoped_cache
+    from repro.service.loadgen import run_service_session
+
+    print(
+        f"running service session (seed={args.seed}, tenants={args.tenants}, "
+        f"submissions={args.submissions}, partitions={args.partitions}, "
+        f"cycles={args.cycles}) ...",
+        file=sys.stderr,
+    )
+    try:
+        with scoped_cache():
+            service = run_service_session(
+                seed=args.seed,
+                n_tenants=args.tenants,
+                n_submissions=args.submissions,
+                n_partitions=args.partitions,
+                n_cycles=args.cycles,
+            )
+    except (ConfigurationError, ValidationError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    report = service.report()
+    print(
+        format_table(
+            _TENANT_HEADERS,
+            _tenant_rows(report["tenants"]),
+            title="Per-tenant accounting",
+        )
+    )
+    cluster = report["cluster"]
+    p50, p99 = cluster["p50_latency_s"], cluster["p99_latency_s"]
+    print(
+        f"cluster: {cluster['drained']} drained / "
+        f"{cluster['submissions']} admitted / "
+        f"{cluster['rejections']} rejected over {cluster['cycles']} cycles; "
+        f"{cluster['saved_j']:.3f} J saved vs MAX_PERF "
+        f"(p50 {'-' if p50 is None else f'{p50:.3f}'} s, "
+        f"p99 {'-' if p99 is None else f'{p99:.3f}'} s)"
+    )
+    if args.store:
+        path = service.store.save(args.store)
+        print(f"wrote {path} ({len(service.store)} events)", file=sys.stderr)
+    if args.json:
+        write_json(report, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError, ValidationError
+    from repro.service.loadgen import run_loadgen
+
+    print(
+        f"load-generating (seed={args.seed}, quick={args.quick}) ...",
+        file=sys.stderr,
+    )
+    try:
+        section = run_loadgen(
+            seed=args.seed,
+            quick=args.quick,
+            n_tenants=args.tenants,
+            n_submissions=args.submissions,
+            n_partitions=args.partitions,
+            n_cycles=args.cycles,
+            json_path=args.json or None,
+        )
+    except (ConfigurationError, ValidationError) as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            _TENANT_HEADERS,
+            _tenant_rows(section["tenants"]),
+            title="Per-tenant accounting",
+        )
+    )
+    print(
+        format_table(
+            ["submissions", "drained", "rejected", "wall (s)", "sub/s",
+             "p50 lat (s)", "p99 lat (s)", "saved (J)"],
+            [[
+                section["n_submissions"],
+                section["drained"],
+                section["rejected"],
+                f"{section['wall_s']:.2f}",
+                f"{section['submissions_per_s']:.0f}",
+                f"{section['p50_latency_s']:.3f}",
+                f"{section['p99_latency_s']:.3f}",
+                f"{section['saved_j']:.3f}",
+            ]],
+            title=f"Loadgen ({section['n_tenants']} tenants, "
+            f"{section['n_partitions']} partitions)",
+        )
+    )
+    if args.json:
+        print(f"merged loadgen section into {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.frontend.lint import default_lint_root, lint_paths
 
@@ -765,6 +892,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src/repro)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("serve", help="run a seeded multi-tenant service "
+                       "session, print per-tenant accounting")
+    p.add_argument("--seed", type=int, default=7, help="session seed")
+    p.add_argument("--tenants", type=int, default=8, help="tenant count")
+    p.add_argument("--submissions", type=int, default=2000,
+                   help="seeded submission attempts")
+    p.add_argument("--partitions", type=int, default=4,
+                   help="scheduler shards")
+    p.add_argument("--cycles", type=int, default=8, help="drain cycles")
+    p.add_argument("--store", default=None,
+                   help="save the replayable job store to this JSON path")
+    p.add_argument("--json", default=None,
+                   help="export the full report to a JSON file")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("loadgen", help="drive the million-submission load "
+                       "generator, merge a BENCH loadgen section")
+    p.add_argument("--seed", type=int, default=7, help="generator seed")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke configuration (8 tenants x 2k submissions)")
+    p.add_argument("--tenants", type=int, default=None,
+                   help="override tenant count")
+    p.add_argument("--submissions", type=int, default=None,
+                   help="override submission count")
+    p.add_argument("--partitions", type=int, default=None,
+                   help="override shard count")
+    p.add_argument("--cycles", type=int, default=None,
+                   help="override drain-cycle count")
+    p.add_argument("--json", default="BENCH_perf.json",
+                   help="benchmark document to merge the section into "
+                   "('' to skip)")
+    p.set_defaults(fn=_cmd_loadgen)
 
     return parser
 

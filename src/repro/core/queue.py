@@ -52,6 +52,7 @@ class SynergyQueue(Queue):
         switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S,
         trace: TraceSession | None = None,
         validate: InlineValidator | bool | None = None,
+        owner: str | None = None,
     ) -> None:
         queue_clocks: tuple[int, int] | None = None
         if len(args) >= 2 and isinstance(args[0], int) and isinstance(args[1], int):
@@ -69,6 +70,10 @@ class SynergyQueue(Queue):
 
         self.plan = plan
         self.predictor = predictor
+        #: Optional tenancy tag: when set (the service plane sets it to the
+        #: tenant name), every ``queue.kernel`` span carries an ``owner``
+        #: attribute so per-tenant energy can be attributed from traces.
+        self.owner = owner
         self.trace = resolve_trace(trace)
         #: Opt-in inline invariant checks (no-op by default, like the trace).
         self.validator = resolve_validator(validate)
@@ -196,6 +201,9 @@ class SynergyQueue(Queue):
         if not tr.enabled or event.record is None:
             return
         record = event.record
+        # ``owner`` rides along only when set, keeping ownerless traces
+        # (and their golden snapshots) byte-identical.
+        extra = {} if self.owner is None else {"owner": self.owner}
         tr.add_span(
             self._track,
             "queue.kernel",
@@ -206,6 +214,7 @@ class SynergyQueue(Queue):
             mem_mhz=record.mem_mhz,
             energy_j=record.energy_j,
             degraded=degraded,
+            **extra,
         )
         tr.count("queue.kernels_executed")
         tr.observe("kernel.time_s", record.time_s)

@@ -311,6 +311,9 @@ def execute_batch(queue: "SynergyQueue", batch: KernelBatch) -> BatchResult:
         sp.set(kernels=n, switches=result.n_switches, fallback=None)
     tr.count("engine.batches")
     tr.count("engine.batched_kernels", n)
+    # Tenancy tag, attached only when the queue has an owner (the service
+    # plane) so ownerless golden traces stay byte-identical.
+    extra = {} if queue.owner is None else {"owner": queue.owner}
     for event in result.events:
         record = event.record
         tr.add_span(
@@ -320,6 +323,7 @@ def execute_batch(queue: "SynergyQueue", batch: KernelBatch) -> BatchResult:
             mem_mhz=record.mem_mhz,
             energy_j=record.energy_j,
             degraded=False,
+            **extra,
         )
         tr.observe("kernel.time_s", record.time_s)
         tr.observe("kernel.energy_j", record.energy_j)

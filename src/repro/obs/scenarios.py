@@ -42,6 +42,7 @@ from repro.obs.session import (
     absorb_fault_log,
     absorb_queue,
     absorb_scheduler,
+    absorb_service,
 )
 from repro.slurm.cluster import NVGPUFREQ_GRES, Cluster
 from repro.slurm.job import JobSpec
@@ -160,11 +161,40 @@ def run_thermal_drift_scenario(seed: int = 7) -> TraceSession:
     return trace
 
 
+def run_multi_tenant_scenario(seed: int = 7) -> TraceSession:
+    """A seeded 8-tenant / 4-partition service-plane session.
+
+    A small but complete run of the multi-tenant scheduling plane:
+    seeded tenants with mixed priorities/quotas/budgets, a seeded
+    arrival stream, four drain cycles through the sharded batched
+    schedulers, per-tenant metrics absorbed at the end. Small enough
+    for a golden snapshot, rich enough to cover every shard and the
+    full admit/drain/account loop (rejection paths are exercised by the
+    larger ``validate --only service`` session).
+    """
+    from repro.service.loadgen import run_service_session
+
+    trace = TraceSession()
+    with scoped_cache():
+        service = run_service_session(
+            seed=seed,
+            n_tenants=8,
+            n_submissions=128,
+            n_partitions=4,
+            n_cycles=4,
+            trace=trace,
+        )
+        absorb_service(trace, service)
+        absorb_cache_report(trace)
+    return trace
+
+
 #: Scenario registry: name → runner.
 SCENARIOS = {
     "single-gpu": run_single_gpu_scenario,
     "slurm-faults": run_slurm_faults_scenario,
     "thermal-drift": run_thermal_drift_scenario,
+    "multi-tenant": run_multi_tenant_scenario,
 }
 
 

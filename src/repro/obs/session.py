@@ -184,6 +184,36 @@ def absorb_engine(trace: TraceSession, result, prefix: str = "engine") -> None:
     m.set_gauge(f"{prefix}.last_batch_energy_j", summary["kernel_energy_j"])
 
 
+def absorb_service(trace: TraceSession, service) -> None:
+    """Pull the service plane's tenancy accounting into the metrics plane.
+
+    Cluster-level counters (tenants, cycles, admissions, rejections,
+    drains) plus one metric family per tenant
+    (``service.tenant.<name>.*``) — the Wattlytics-style per-tenant
+    energy/savings attribution, exported with everything else.
+    """
+    if not trace.enabled:
+        return
+    m = trace.metrics
+    report = service.report()
+    cluster = report["cluster"]
+    m.counter("service.tenants").value = int(cluster["n_tenants"])
+    m.counter("service.cycles").value = int(cluster["cycles"])
+    m.counter("service.admitted").value = int(cluster["submissions"])
+    m.counter("service.rejected").value = int(cluster["rejections"])
+    m.counter("service.drained").value = int(cluster["drained"])
+    m.set_gauge("service.kernel_energy_j", cluster["kernel_energy_j"])
+    m.set_gauge("service.board_energy_j", cluster["board_energy_j"])
+    m.set_gauge("service.saved_j", cluster["saved_j"])
+    for row in report["tenants"]:
+        prefix = f"service.tenant.{row['tenant']}"
+        m.counter(f"{prefix}.admitted").value = int(row["admitted"])
+        m.counter(f"{prefix}.rejected").value = int(row["rejected"])
+        m.counter(f"{prefix}.drained").value = int(row["drained"])
+        m.set_gauge(f"{prefix}.energy_j", row["energy_j"])
+        m.set_gauge(f"{prefix}.saved_j", row["saved_j"])
+
+
 def absorb_scheduler(trace: TraceSession, scheduler) -> None:
     """Pull scheduler job-state totals (incl. requeues) into metrics."""
     if not trace.enabled:

@@ -1,0 +1,136 @@
+"""Tenants, quotas and typed admission control.
+
+A :class:`Tenant` is the service-plane identity: a priority band (0 is
+most urgent — drained first each cycle), a queue quota (the maximum
+number of admitted-but-not-yet-drained submissions), an optional
+lifetime energy budget in joules, and the energy target every one of its
+submissions is tuned for. :class:`TenantRegistry` holds the fleet;
+admission itself lives on
+:meth:`repro.service.plane.SchedulingService.submit`, which answers with
+an :class:`AdmissionDecision` — rejections are *data* with a typed
+:class:`RejectReason`, not exceptions, because a service plane must keep
+running while it says no.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.metrics.targets import MIN_EDP, EnergyTarget
+
+
+class RejectReason(enum.Enum):
+    """Why an admission was refused (the typed rejection vocabulary)."""
+
+    #: The submitting tenant was never registered.
+    UNKNOWN_TENANT = "unknown_tenant"
+    #: The tenant already has ``quota`` submissions admitted and undrained.
+    QUOTA_EXCEEDED = "quota_exceeded"
+    #: The tenant's accounted energy reached its lifetime joule budget.
+    ENERGY_BUDGET_EXHAUSTED = "energy_budget_exhausted"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The service's answer to one submission attempt."""
+
+    admitted: bool
+    #: ``None`` iff ``admitted``.
+    reason: RejectReason | None = None
+    detail: str = ""
+    #: Submission id assigned on admission (``None`` on rejection).
+    sub_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.admitted and self.reason is not None:
+            raise ValidationError("admitted decisions carry no reject reason")
+        if not self.admitted and self.reason is None:
+            raise ValidationError("rejections must carry a RejectReason")
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """Service-plane identity: priority, quota, energy budget, target.
+
+    Attributes
+    ----------
+    name:
+        Unique tenant name (also the per-tenant metric label).
+    priority:
+        Priority band; 0 is most urgent. Within a drain cycle, lower
+        bands are drained first (priority shapes *latency*, never
+        *service*: every admitted submission drains in the next cycle).
+    quota:
+        Maximum admitted-but-undrained submissions. Admission rejects
+        with :data:`RejectReason.QUOTA_EXCEEDED` once the pending queue
+        is full; a drain frees the whole queue.
+    energy_budget_j:
+        Optional lifetime GPU-energy budget (J). Once the tenant's
+        accounted energy reaches it, further submissions are rejected
+        with :data:`RejectReason.ENERGY_BUDGET_EXHAUSTED`. ``None``
+        means unmetered.
+    target:
+        The energy target every submission of this tenant is tuned for.
+    """
+
+    name: str
+    priority: int = 1
+    quota: int = 16
+    energy_budget_j: float | None = None
+    target: EnergyTarget = field(default_factory=lambda: MIN_EDP)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("tenant name cannot be empty")
+        if self.priority < 0:
+            raise ValidationError(
+                f"tenant priority must be >= 0 ({self.priority!r})"
+            )
+        if self.quota < 1:
+            raise ValidationError(f"tenant quota must be >= 1 ({self.quota!r})")
+        if self.energy_budget_j is not None and not self.energy_budget_j > 0:
+            raise ValidationError(
+                f"energy budget must be positive ({self.energy_budget_j!r})"
+            )
+        if not isinstance(self.target, EnergyTarget):
+            raise ValidationError(
+                f"tenant target must be an EnergyTarget ({self.target!r})"
+            )
+
+
+class TenantRegistry:
+    """The fleet of registered tenants, keyed by name."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+
+    def register(self, tenant: Tenant) -> Tenant:
+        """Add a tenant; duplicate names are a configuration error."""
+        if tenant.name in self._tenants:
+            raise ConfigurationError(
+                f"tenant {tenant.name!r} is already registered"
+            )
+        self._tenants[tenant.name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        """Look a tenant up; raises :class:`ConfigurationError` if absent."""
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown tenant {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        """Tenants in name order (the deterministic reporting order)."""
+        return iter(sorted(self._tenants.values(), key=lambda t: t.name))

@@ -110,6 +110,8 @@ class Cluster:
         fault_plan: FaultPlan | None = None,
         trace: TraceSession | None = None,
         validate: InlineValidator | bool | None = None,
+        index_base: int = 0,
+        node_prefix: str = "node",
     ) -> "Cluster":
         """Provision a homogeneous cluster in production posture.
 
@@ -121,10 +123,19 @@ class Cluster:
         posture is checked immediately and the validator is kept on
         :attr:`Cluster.validator` for downstream layers (no-op by default,
         like the trace).
+
+        ``index_base`` offsets every GPU index (and therefore its trace
+        track and fault-injection address) and ``node_prefix`` the node
+        names, so several clusters — e.g. the service plane's partition
+        shards — can share one trace session without colliding.
         """
         if n_nodes < 1 or gpus_per_node < 1:
             raise ConfigurationError(
                 f"invalid topology: {n_nodes} nodes x {gpus_per_node} GPUs"
+            )
+        if index_base < 0:
+            raise ConfigurationError(
+                f"index_base cannot be negative ({index_base!r})"
             )
         clk = clock if clock is not None else VirtualClock()
         nodes = []
@@ -135,11 +146,15 @@ class Cluster:
                 # concurrently in virtual time; the scheduler synchronizes
                 # device clocks with the cluster wall clock at job edges.
                 gpu = SimulatedGPU(
-                    spec, clock=VirtualClock(clk.now), index=i * gpus_per_node + j
+                    spec,
+                    clock=VirtualClock(clk.now),
+                    index=index_base + i * gpus_per_node + j,
                 )
                 gpu.set_api_restriction(True)
                 gpus.append(gpu)
-            nodes.append(Node(name=f"node{i:03d}", gpus=gpus, gres=set(gres or ())))
+            nodes.append(
+                Node(name=f"{node_prefix}{i:03d}", gpus=gpus, gres=set(gres or ()))
+            )
         cluster = cls(nodes, clk, trace=trace)
         if fault_plan is not None:
             cluster.attach_faults(fault_plan.injector(trace=trace))

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Protocol
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ValidationError
 from repro.faults import NodeFailure
 from repro.obs.session import TraceSession, resolve_trace
 from repro.slurm.cluster import Cluster, Node
@@ -113,6 +113,14 @@ class Scheduler:
         ``slurm.submit_many`` span and returns no jobs.
         """
         from repro.engine.batch import JobBatch
+
+        # Validate up front: an unknown mode must fail even for an empty
+        # batch, instead of silently returning [] (or surfacing later as
+        # a per-job ConfigurationError from ``submit``).
+        if accounting not in ("scalar", "batched"):
+            raise ValidationError(
+                f"accounting must be 'scalar' or 'batched' ({accounting!r})"
+            )
 
         if isinstance(specs, JobBatch):
             specs = list(specs.specs)

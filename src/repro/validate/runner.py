@@ -24,7 +24,7 @@ from repro.validate.result import ValidationReport
 
 #: The seeded golden scenarios of the observability plane.
 GOLDEN_SCENARIOS: tuple[str, ...] = (
-    "single-gpu", "slurm-faults", "thermal-drift",
+    "single-gpu", "slurm-faults", "thermal-drift", "multi-tenant",
 )
 
 #: Kernel/device grid the sweep invariants run over: the golden-scenario
@@ -37,7 +37,7 @@ SWEEP_SPECS: tuple[GPUSpec, ...] = (NVIDIA_V100, AMD_MI100)
 #: Selectable report sections.
 SECTIONS: tuple[str, ...] = (
     "sweeps", "powercap", "scenarios", "differential", "frontend", "adapt",
-    "engine",
+    "engine", "service",
 )
 
 
@@ -126,6 +126,14 @@ def _engine_section(report: ValidationReport) -> None:
         report.extend(run_engine_checks(NVIDIA_V100))
 
 
+def _service_section(report: ValidationReport, seed: int) -> None:
+    from repro.core.sweepcache import scoped_cache
+    from repro.validate.service import run_service_checks
+
+    with scoped_cache():
+        report.extend(run_service_checks(seed))
+
+
 def _adapt_section(report: ValidationReport, seed: int) -> None:
     from repro.core.sweepcache import scoped_cache
     from repro.validate.adapt import run_adapt_checks
@@ -169,4 +177,6 @@ def run_validation(
         _adapt_section(report, seed)
     if "engine" in sections:
         _engine_section(report)
+    if "service" in sections:
+        _service_section(report, seed)
     return report

@@ -1,0 +1,172 @@
+"""Service-plane tenancy invariants (``validate --only service``).
+
+One quick-mode seeded session (8 tenants × 2k submissions over 4
+partitions) is run twice and audited from three independent angles:
+
+- **replay byte-identity** — two same-seed sessions must serialize
+  byte-identical job stores, and a save/load roundtrip must preserve the
+  canonical bytes (the persistence analogue of the golden-trace
+  contract),
+- **log audit** — :func:`~repro.service.store.fold_events` re-derives
+  per-tenant admission state from the raw event stream alone; it must
+  agree with the live plane's bookkeeping (quota conservation, admission
+  soundness, drain accounting, energy attribution),
+- **scheduling semantics** — priority non-starvation (every admitted
+  submission drains; nothing stays pending after the final cycle),
+  priority ordering of batches within each (shard, cycle), and
+  non-negative scheduling latencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.validate.result import CheckResult, check
+
+#: Quick-mode session the checks run over (matches the CI smoke config).
+QUICK = dict(n_tenants=8, n_submissions=2_000, n_partitions=4, n_cycles=8)
+
+
+def run_service_checks(seed: int = 7) -> list[CheckResult]:
+    """Audit the service plane; caller manages the sweep cache."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.loadgen import run_service_session
+    from repro.service.store import JobStore, fold_events
+
+    results: list[CheckResult] = []
+
+    first = run_service_session(seed=seed, **QUICK)
+    second = run_service_session(seed=seed, **QUICK)
+
+    # ------------------------------------------------------ replay identity
+    a, b = first.store.canonical_bytes(), second.store.canonical_bytes()
+    results.append(
+        check(
+            "service.replay_byte_identity",
+            a == b,
+            f"{len(first.store)} events, {len(a)} bytes vs {len(b)}",
+        )
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store.json"
+        first.store.save(path)
+        results.append(
+            check(
+                "service.store_roundtrip",
+                JobStore.load(path).canonical_bytes() == a,
+                f"saved+reloaded {len(first.store)} events",
+            )
+        )
+
+    # ----------------------------------------------------------- log audit
+    try:
+        folded = fold_events(first.store.events)
+        results.append(
+            check(
+                "service.log_admission_sound",
+                True,
+                "fold accepted every admit/drain against quota",
+            )
+        )
+    except Exception as exc:
+        results.append(
+            check("service.log_admission_sound", False, f"{exc}")
+        )
+        folded = {}
+
+    rows = {r["tenant"]: r for r in first.report()["tenants"]}
+    results.append(
+        check(
+            "service.log_covers_tenants",
+            set(folded) == set(rows),
+            f"{len(folded)} logged vs {len(rows)} registered",
+        )
+    )
+    quota_ok, energy_ok, drain_ok = True, True, True
+    detail = ""
+    for name, st in folded.items():
+        row = rows[name]
+        if st["pending"] != row["pending"] or st["admitted"] != row["admitted"]:
+            quota_ok = False
+            detail = f"{name}: fold {st['pending']}/{st['admitted']} vs plane "
+            detail += f"{row['pending']}/{row['admitted']}"
+        if st["drained"] != row["drained"] or st["rejected"] != row["rejected"]:
+            drain_ok = False
+        if not math.isclose(
+            st["energy_j"], row["energy_j"], rel_tol=1e-12, abs_tol=1e-12
+        ):
+            energy_ok = False
+    results.append(
+        check(
+            "service.quota_conservation",
+            quota_ok,
+            detail or "fold pending/admitted match the plane for every tenant",
+        )
+    )
+    results.append(
+        check(
+            "service.drain_accounting",
+            drain_ok,
+            "fold drained/rejected match the plane for every tenant",
+        )
+    )
+    results.append(
+        check(
+            "service.energy_attribution",
+            energy_ok,
+            "fold per-tenant energy matches the plane (rel 1e-12)",
+        )
+    )
+
+    # -------------------------------------------------- scheduling semantics
+    results.append(
+        check(
+            "service.non_starvation",
+            all(r["pending"] == 0 for r in rows.values())
+            and all(
+                r["drained"] == r["admitted"] for r in rows.values()
+            ),
+            "every admitted submission drained; no pending work remains",
+        )
+    )
+    priorities = {
+        e["tenant"]: e["priority"] for e in first.store.select("tenant")
+    }
+    order_ok = True
+    seen: dict[tuple[int, int], int] = {}
+    for e in first.store.select("batch"):
+        key = (e["shard"], e["cycle"])
+        band = priorities[e["tenant"]]
+        if key in seen and band < seen[key]:
+            order_ok = False
+        seen[key] = max(band, seen.get(key, band))
+    results.append(
+        check(
+            "service.priority_order",
+            order_ok,
+            "within each (shard, cycle), batches drain in priority-band order",
+        )
+    )
+    latencies = [
+        x for r in rows.values()
+        for x in (r["p50_latency_s"], r["p99_latency_s"])
+        if x is not None
+    ]
+    results.append(
+        check(
+            "service.latency_sane",
+            all(x >= 0.0 and math.isfinite(x) for x in latencies),
+            f"{len(latencies)} per-tenant percentile values, all finite >= 0",
+        )
+    )
+    reasons = {e["reason"] for e in first.store.select("reject")}
+    results.append(
+        check(
+            "service.rejections_exercised",
+            {"quota_exceeded", "energy_budget_exhausted"} <= reasons,
+            f"reject reasons seen: {sorted(reasons)}",
+        )
+    )
+    return results

@@ -26,6 +26,8 @@ ALL_SUBCOMMANDS = [
     "analyze",
     "lint",
     "adapt",
+    "serve",
+    "loadgen",
 ]
 
 
@@ -110,6 +112,47 @@ def test_accuracy_small(capsys):
     out = capsys.readouterr().out
     assert "Table 2" in out
     assert "MAX_PERF" in out
+
+
+def test_serve_happy_path(tmp_path, capsys):
+    store_path = tmp_path / "store.json"
+    assert main(["serve", "--tenants", "4", "--submissions", "64",
+                 "--partitions", "2", "--cycles", "2",
+                 "--store", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Per-tenant accounting" in out
+    assert "t000" in out and "t003" in out
+    assert "cluster:" in out and "saved" in out
+    assert store_path.exists()
+
+
+def test_serve_bad_args_exit_code():
+    assert main(["serve", "--tenants", "0"]) == 2
+    assert main(["serve", "--submissions", "0"]) == 2
+    assert main(["serve", "--partitions", "0"]) == 2
+
+
+def test_loadgen_quick_merges_bench_section(tmp_path, capsys):
+    import json
+
+    bench_path = tmp_path / "BENCH_perf.json"
+    bench_path.write_text(json.dumps({"existing": {"keep": True}}))
+    assert main(["loadgen", "--quick", "--tenants", "4",
+                 "--submissions", "200", "--partitions", "2",
+                 "--cycles", "2", "--json", str(bench_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Loadgen" in out and "Per-tenant accounting" in out
+    doc = json.loads(bench_path.read_text())
+    assert doc["existing"] == {"keep": True}
+    section = doc["loadgen"]
+    assert section["n_tenants"] == 4
+    assert section["drained"] > 0
+    assert len(section["tenants"]) == 4
+    assert all("saved_j" in row for row in section["tenants"])
+
+
+def test_loadgen_bad_args_exit_code():
+    assert main(["loadgen", "--quick", "--tenants", "0", "--json", ""]) == 2
 
 
 # ------------------------------------------------------- smoke: completeness

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.clock import VirtualClock
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ValidationError
 from repro.hw.device import SimulatedGPU
 from repro.hw.specs import NVIDIA_V100
 from repro.kernelir.instructions import InstructionMix
@@ -65,6 +65,15 @@ class TestCluster:
         with pytest.raises(ConfigurationError):
             Node("empty", gpus=[])
 
+    def test_index_base_and_prefix_offset_topology(self):
+        shard = Cluster.build(NVIDIA_V100, n_nodes=2, gpus_per_node=2,
+                              index_base=10, node_prefix="s3n")
+        assert [n.name for n in shard.nodes] == ["s3n000", "s3n001"]
+        indices = [g.index for n in shard.nodes for g in n.gpus]
+        assert indices == [10, 11, 12, 13]
+        with pytest.raises(ConfigurationError):
+            Cluster.build(NVIDIA_V100, n_nodes=1, index_base=-1)
+
     def test_duplicate_node_names_rejected(self):
         clk = VirtualClock()
         gpu_a = SimulatedGPU(NVIDIA_V100, clock=VirtualClock())
@@ -118,6 +127,22 @@ class TestScheduler:
         busy = job.nodes[0].gpus[0]
         busy_energy = busy.energy_between(job.start_time_s, job.end_time_s)
         assert job.gpu_energy_j > busy_energy  # idle boards add in
+
+    def test_submit_many_rejects_unknown_accounting(self, scheduler):
+        """Regression: ``accounting=""`` used to be silently accepted.
+
+        An empty batch made the mode string unreachable, so typos (or an
+        empty string) sailed through and only failed — or worse, didn't —
+        on the next non-empty call. The mode is now validated up front,
+        for empty and non-empty batches alike.
+        """
+        spec = JobSpec(name="one", n_nodes=1, payload=_work_payload)
+        for bad in ("", "batchd", "BATCHED"):
+            with pytest.raises(ValidationError):
+                scheduler.submit_many([], accounting=bad)
+            with pytest.raises(ValidationError):
+                scheduler.submit_many([spec], accounting=bad)
+        assert scheduler.submit_many([], accounting="batched") == []
 
     def test_sequential_jobs_get_increasing_ids(self, scheduler):
         a = scheduler.submit(JobSpec(name="a", n_nodes=1, payload=_work_payload))

@@ -372,6 +372,22 @@ class TestRunner:
         assert any(n.startswith("powercap.") for n in names)
         assert not any(n.startswith("sweep.") for n in names)
 
+    def test_service_section_registered(self):
+        from repro.validate.runner import GOLDEN_SCENARIOS, SECTIONS
+
+        assert "service" in SECTIONS
+        assert "multi-tenant" in GOLDEN_SCENARIOS
+
+    def test_service_section_is_strict_clean(self):
+        report = run_validation(only=("service",))
+        names = {r.name for r in report.results}
+        assert "service.replay_byte_identity" in names
+        assert "service.quota_conservation" in names
+        assert "service.rejections_exercised" in names
+        assert report.ok(strict=True), [
+            (r.name, r.detail) for r in report.results if not r.passed
+        ]
+
 
 def test_absorb_validation_exports_verdict():
     report = ValidationReport()
