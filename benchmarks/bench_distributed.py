@@ -1,0 +1,63 @@
+"""Tracked perf benchmark: distributed weak scaling (Fig. 10 reopened).
+
+Runs :func:`repro.distributed.bench.run_distributed_bench` at the
+acceptance configuration — batched-vs-scalar parity and wall-clock
+speedup at 256 ranks, then batched-only weak scaling at 512/1024/2048
+ranks — asserts the acceptance floors (≥10× speedup, parity rel ≤ 1e-12,
+positive energy savings at every scale, completion within the SLA of the
+all-MAX_PERF baseline), and merges the ``distributed`` section into
+``BENCH_perf.json`` at the repo root.
+
+Excluded from tier-1 (the ``perf`` marker). Run explicitly with
+``pytest benchmarks/bench_distributed.py -m perf``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.distributed.bench import SLA_FACTOR, run_distributed_bench
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def section():
+    return run_distributed_bench(json_path=REPO_ROOT / "BENCH_perf.json")
+
+
+def test_section_written(section):
+    import json
+
+    doc = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    assert not doc["distributed"]["quick"]
+    assert doc["distributed"]["base"]["ranks"] >= 256
+
+
+def test_parity_and_speedup_floor(section):
+    base = section["base"]
+    assert base["ranks"] >= 256
+    assert base["parity_rel_err"] <= 1e-12
+    assert base["switches_equal"]
+    assert base["speedup"] >= 10.0
+
+
+def test_weak_scaling_to_cluster_scale(section):
+    ranks = [s["ranks"] for s in section["scales"]]
+    assert max(ranks) >= 2048
+    for scale in section["scales"]:
+        assert scale["mode"] == "batched"
+        assert scale["saved_frac"] > 0.0
+        assert scale["energy_j"] < scale["maxperf_energy_j"]
+        assert scale["completion_s"] <= SLA_FACTOR * scale["maxperf_completion_s"]
+
+
+def test_per_rank_work_is_constant(section):
+    # Weak scaling: node count grows linearly with the rank count.
+    scales = section["scales"]
+    for a, b in zip(scales, scales[1:]):
+        ratio = b["nodes"] / a["nodes"]
+        rank_ratio = b["ranks"] / a["ranks"]
+        assert abs(ratio - rank_ratio) < 0.05 * rank_ratio

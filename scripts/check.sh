@@ -43,5 +43,8 @@ python -m repro.cli validate --only engine --strict
 echo "== service plane (tenancy invariants + replay identity, strict) =="
 python -m repro.cli validate --only service --strict
 
+echo "== distributed plane (graph soundness + multi-rank parity + global energy target, strict) =="
+python -m repro.cli validate --only distributed --strict
+
 echo "== loadgen smoke (quick: 8 tenants x 2k submissions, no JSON) =="
 python -m repro.cli loadgen --quick --json ''

@@ -27,7 +27,11 @@ exposes the deployment and analysis workflows:
   (``module:fn``, ``file.py:fn`` or a backed kernel name) and print its
   Table-1 features, locality and diagnostics (see ``docs/FRONTEND.md``),
 - ``lint`` — the repo-wide determinism linter (banned wall-clock reads,
-  global RNG state, exact float equality).
+  global RNG state, exact float equality),
+- ``distributed`` — run the distributed command-graph scheduler over a
+  halo-exchange stencil (global energy-target plan, batched or scalar
+  engine) or its weak-scaling benchmark (``--bench``; see
+  ``docs/DISTRIBUTED.md``).
 """
 
 from __future__ import annotations
@@ -729,6 +733,149 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError, ValidationError
+    from repro.core.compiler import plan_global_frequencies
+    from repro.core.sweepcache import scoped_cache
+    from repro.distributed import build_comm, build_stencil_graph, run_graph
+
+    if args.bench:
+        from repro.distributed.bench import run_distributed_bench
+
+        print(
+            f"distributed weak-scaling benchmark (quick={args.quick}) ...",
+            file=sys.stderr,
+        )
+        section = run_distributed_bench(
+            quick=args.quick, json_path=args.json or None
+        )
+        base = section["base"]
+        print(
+            format_table(
+                ["ranks", "nodes", "speedup", "parity rel err", "switches",
+                 "completion (s)", "energy (J)"],
+                [[
+                    base["ranks"], base["nodes"],
+                    f"{base['speedup']:.1f}x",
+                    f"{base['parity_rel_err']:.1e}",
+                    "equal" if base["switches_equal"] else "DIFFER",
+                    f"{base['completion_s']:.6f}",
+                    f"{base['energy_j']:.2f}",
+                ]],
+                title=f"Batched vs scalar parity ({section['device']})",
+            )
+        )
+        print(
+            format_table(
+                ["ranks", "nodes", "completion (s)", "MAX_PERF (s)",
+                 "energy (J)", "MAX_PERF (J)", "saved"],
+                [[
+                    s["ranks"], s["nodes"],
+                    f"{s['completion_s']:.6f}",
+                    f"{s['maxperf_completion_s']:.6f}",
+                    f"{s['energy_j']:.2f}",
+                    f"{s['maxperf_energy_j']:.2f}",
+                    f"{100 * s['saved_frac']:.1f}%",
+                ] for s in section["scales"]],
+                title="Weak scaling (batched engine)",
+            )
+        )
+        if args.json:
+            print(
+                f"merged distributed section into {args.json}",
+                file=sys.stderr,
+            )
+        return 0
+
+    print(
+        f"distributed stencil graph (device={args.device}, "
+        f"ranks={args.ranks}, steps={args.steps}, sla={args.sla}, "
+        f"engine={args.engine}) ...",
+        file=sys.stderr,
+    )
+    try:
+        spec = get_spec(args.device)
+        with scoped_cache():
+            comm = build_comm(spec, args.ranks)
+            graph = build_stencil_graph(comm, steps=args.steps)
+            plan = plan_global_frequencies(
+                spec, graph.rank_kernels(), sla_factor=args.sla, cache=True
+            )
+            baseline = plan_global_frequencies(
+                spec, graph.rank_kernels(), sla_factor=args.sla,
+                objective="MAX_PERF", cache=True,
+            )
+            result = run_graph(graph, comm, plan, engine=args.engine)
+            ref = run_graph(
+                graph, build_comm(spec, args.ranks), baseline,
+                engine=args.engine,
+            )
+    except (ConfigurationError, ValidationError) as exc:
+        print(f"distributed: {exc}", file=sys.stderr)
+        return 2
+    counts = graph.counts()
+    slack = sum(t != "MAX_PERF" for t in plan.rank_targets)
+    if args.ranks <= 16:
+        print(
+            format_table(
+                ["rank", "target", "core (MHz)", "time (s)", "energy (J)",
+                 "switches"],
+                [[
+                    r, plan.rank_targets[r], plan.rank_clocks[r][1],
+                    f"{result.rank_time_s[r]:.6f}",
+                    f"{result.rank_energy_j[r]:.3f}",
+                    int(result.rank_switches[r]),
+                ] for r in range(args.ranks)],
+                title="Per-rank plan & execution",
+            )
+        )
+    print(
+        format_table(
+            ["nodes", "kernels", "halos", "gathers", "waves", "critical rank",
+             "slack ranks"],
+            [[
+                len(graph.nodes), counts.get("kernel", 0),
+                counts.get("halo", 0), counts.get("gather", 0),
+                graph.n_waves, plan.critical_rank, slack,
+            ]],
+            title="Command graph",
+        )
+    )
+    saved = ref.total_energy_j - result.total_energy_j
+    frac = saved / ref.total_energy_j if ref.total_energy_j else 0.0
+    mode = result.mode + (f" (fallback: {result.fallback})"
+                          if result.fallback else "")
+    print(
+        f"executed via {mode}: completion {result.completion_s:.6f} s "
+        f"(MAX_PERF {ref.completion_s:.6f} s, budget "
+        f"{args.sla:.2f}x), energy {result.total_energy_j:.2f} J vs "
+        f"{ref.total_energy_j:.2f} J at MAX_PERF — saved {saved:.2f} J "
+        f"({100 * frac:.1f}%)"
+    )
+    if args.json:
+        doc = {
+            "device": spec.name,
+            "ranks": args.ranks,
+            "steps": args.steps,
+            "sla_factor": args.sla,
+            "engine": args.engine,
+            "graph": {
+                "nodes": len(graph.nodes), "waves": graph.n_waves, **counts,
+            },
+            "plan": {
+                "critical_rank": plan.critical_rank,
+                "slack_ranks": slack,
+                "rank_targets": list(plan.rank_targets),
+            },
+            "result": result.summary(),
+            "maxperf": ref.summary(),
+            "saved_j": saved,
+        }
+        write_json(doc, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.frontend.lint import default_lint_root, lint_paths
 
@@ -925,6 +1072,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark document to merge the section into "
                    "('' to skip)")
     p.set_defaults(fn=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "distributed",
+        help="run the distributed command-graph scheduler over a "
+        "halo-exchange stencil, or its weak-scaling benchmark (--bench)",
+    )
+    p.add_argument("--device", default="A100", choices=known_devices())
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--steps", type=int, default=4)
+    p.add_argument("--sla", type=float, default=1.25,
+                   help="global completion budget vs MAX_PERF (default 1.25)")
+    p.add_argument("--engine", choices=("batched", "scalar"),
+                   default="batched")
+    p.add_argument("--bench", action="store_true",
+                   help="run the Fig. 10 weak-scaling benchmark instead")
+    p.add_argument("--quick", action="store_true",
+                   help="with --bench: shrink rank counts for smoke use")
+    p.add_argument("--json", default="",
+                   help="write the run summary (or merge the bench section) "
+                   "to this path")
+    p.set_defaults(fn=_cmd_distributed)
 
     return parser
 

@@ -1,0 +1,174 @@
+"""The weak-scaling distributed benchmark (Fig. 10 reopened, 256–2048).
+
+Two measurements over the halo-exchange stencil graph:
+
+- **parity + speedup** at the base scale (256 ranks): the same graph and
+  global plan through both executors; asserts batched-vs-scalar parity
+  (rel ≤ 1e-12, switch counts exact) and reports the wall-clock speedup
+  of the wave-vectorized engine over the per-event reference — the
+  ratio the acceptance floor (≥10×) tracks,
+- **weak scaling** (batched only) at 512/1024/2048 ranks: per-rank work
+  is constant, the problem grows with the rank count; each scale reports
+  executed completion, global-plan vs all-MAX_PERF energy and the
+  savings fraction — the paper's scalable-energy-saving story.
+
+The section merges under the ``distributed`` key of ``BENCH_perf.json``
+(other sections preserved), mirroring the loadgen benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sweepcache import scoped_cache
+
+#: Base scale for the parity/speedup measurement.
+BASE_RANKS = 256
+
+#: Weak-scaling sweep (batched engine only — the scalar reference at
+#: these scales is exactly what the engine exists to avoid).
+SCALE_RANKS = (512, 1024, 2048)
+
+QUICK_BASE_RANKS = 32
+QUICK_SCALE_RANKS = (64, 128)
+
+#: Stencil steps per run.
+STEPS = 4
+
+#: Plan SLA factor.
+SLA_FACTOR = 1.25
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    d = np.abs(np.asarray(a) - np.asarray(b))
+    s = np.maximum(np.abs(a), np.abs(b))
+    with np.errstate(invalid="ignore"):
+        r = np.where(s > 0.0, d / np.where(s > 0.0, s, 1.0), d)
+    return float(r.max(initial=0.0))
+
+
+def _build(spec, n_ranks: int):
+    from repro.core.compiler import plan_global_frequencies
+    from repro.distributed import build_comm, build_stencil_graph
+
+    comm = build_comm(spec, n_ranks)
+    graph = build_stencil_graph(comm, steps=STEPS)
+    plan = plan_global_frequencies(
+        spec, graph.rank_kernels(), sla_factor=SLA_FACTOR, cache=True
+    )
+    baseline = plan_global_frequencies(
+        spec, graph.rank_kernels(), sla_factor=SLA_FACTOR,
+        objective="MAX_PERF", cache=True,
+    )
+    return comm, graph, plan, baseline
+
+
+def run_distributed_bench(
+    *,
+    quick: bool = False,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Measured distributed run; returns (and optionally merges) the section.
+
+    ``quick`` shrinks the rank counts for smoke use (CLI ``--bench`` in
+    tests); the tracked numbers come from the full configuration.
+    """
+    from repro.distributed import build_comm, run_graph, run_graph_scalar
+
+    base_ranks = QUICK_BASE_RANKS if quick else BASE_RANKS
+    scale_ranks = QUICK_SCALE_RANKS if quick else SCALE_RANKS
+
+    with scoped_cache():
+        spec = _spec()
+        comm, graph, plan, baseline = _build(spec, base_ranks)
+
+        # Warm the shared caches outside the timed region: the batched
+        # path is pure (safe to re-run on the same communicator) and
+        # populates the memoized operating tables; the scalar reference
+        # commits clock advances, so its warmup runs on a throwaway
+        # communicator, leaving ``comm`` pristine for the timed runs.
+        run_graph(graph, comm, plan)
+        run_graph_scalar(graph, build_comm(spec, base_ranks), plan)
+
+        batched_wall_s = min(
+            _timed(lambda: run_graph(graph, comm, plan))[1]
+            for _ in range(3)
+        )
+        batched = run_graph(graph, comm, plan)
+
+        scalar, scalar_wall_s = _timed(
+            lambda: run_graph_scalar(graph, comm, plan)
+        )
+
+        base = {
+            "ranks": base_ranks,
+            "nodes": len(graph.nodes),
+            "kernels": batched.n_kernels,
+            "transfers": batched.n_transfers,
+            "batched_wall_s": batched_wall_s,
+            "scalar_wall_s": scalar_wall_s,
+            "speedup": scalar_wall_s / batched_wall_s,
+            "parity_rel_err": max(
+                _rel_err(batched.start_s, scalar.start_s),
+                _rel_err(batched.finish_s, scalar.finish_s),
+                _rel_err(batched.rank_energy_j, scalar.rank_energy_j),
+                _rel_err(batched.rank_time_s, scalar.rank_time_s),
+            ),
+            "switches_equal": batched.rank_switches.tolist()
+            == scalar.rank_switches.tolist(),
+            "completion_s": batched.completion_s,
+            "energy_j": batched.total_energy_j,
+        }
+
+        scales = []
+        for n_ranks in scale_ranks:
+            comm, graph, plan, baseline = _build(spec, n_ranks)
+            result = run_graph(graph, comm, plan)
+            ref = run_graph(graph, build_comm(spec, n_ranks), baseline)
+            scales.append(
+                {
+                    "ranks": n_ranks,
+                    "nodes": len(graph.nodes),
+                    "mode": result.mode,
+                    "completion_s": result.completion_s,
+                    "maxperf_completion_s": ref.completion_s,
+                    "sla_factor": SLA_FACTOR,
+                    "energy_j": result.total_energy_j,
+                    "maxperf_energy_j": ref.total_energy_j,
+                    "saved_frac": 1.0
+                    - result.total_energy_j / ref.total_energy_j,
+                    "slack_ranks": sum(
+                        t != "MAX_PERF" for t in plan.rank_targets
+                    ),
+                }
+            )
+
+    section = {
+        "quick": quick,
+        "device": spec.name,
+        "steps": STEPS,
+        "base": base,
+        "scales": scales,
+    }
+    if json_path is not None:
+        path = Path(json_path)
+        doc = json.loads(path.read_text()) if path.exists() else {}
+        doc["distributed"] = section
+        path.write_text(json.dumps(doc, indent=2))
+    return section
+
+
+def _spec():
+    from repro.hw.specs import get_spec
+
+    return get_spec("A100")

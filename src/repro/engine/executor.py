@@ -148,15 +148,17 @@ def _fallback_scalar(
     )
 
 
-def _operating_table(queue: "SynergyQueue", kernel, mem_mhz: float):
+def operating_table(gpu, kernel, mem_mhz: float):
     """Timing/power columns over the full core table at one memory clock.
 
     Returns read-only ``(time_s, u_core, u_mem, power_w)`` arrays aligned
-    with ``spec.core_freqs_mhz``, memoized in the keyed sweep cache.
+    with ``spec.core_freqs_mhz``, memoized in the keyed sweep cache. The
+    columns depend only on the device *spec* (timing/power models are
+    shared per spec), so the single-queue fast path and the multi-rank
+    graph engine (:mod:`repro.engine.multirank`) share cache entries.
     """
     from repro.core.sweepcache import resolve_cache
 
-    gpu = queue.device.gpu
     spec = gpu.spec
     table = np.asarray(spec.core_freqs_mhz, dtype=float)
 
@@ -242,7 +244,7 @@ def _choose_operating_points(
             members.append((kernel, mem))
         group_ids.append(idx)
     group_of = np.asarray(group_ids, dtype=int)
-    tables = [_operating_table(queue, k, float(m)) for k, m in members]
+    tables = [operating_table(gpu, k, float(m)) for k, m in members]
     time_mat = np.stack([t[0] for t in tables])
     u_core_mat = np.stack([t[1] for t in tables])
     u_mem_mat = np.stack([t[2] for t in tables])

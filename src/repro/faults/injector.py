@@ -152,10 +152,27 @@ class FaultInjector:
             for i, spec in enumerate(plan.specs)
             if not spec.scheduled
         }
+        # Site → [(plan index, spec), ...] in plan order. ``fires``/``active``
+        # only ever match specs of the invoked site, so walking this index
+        # instead of the whole plan is behaviour-preserving (first-match
+        # order and per-spec RNG draw counts are unchanged) while making
+        # unarmed sites O(1) — the common case on hot collective paths.
+        self._by_site: dict[str, list[tuple[int, FaultSpec]]] = {}
+        for i, spec in enumerate(plan.specs):
+            self._by_site.setdefault(spec.site, []).append((i, spec))
         self._fired = [0] * len(plan.specs)
         # Window specs currently known to be active (logged once).
         self._activated: set[int] = set()
         self._lost_devices: set[int] = set()
+
+    def armed(self, site: str) -> bool:
+        """Whether the plan has any spec at ``site``.
+
+        When False, :meth:`fires`/:meth:`active` at that site are guaranteed
+        no-ops (no match, no RNG draw), so per-target polling loops can be
+        skipped wholesale without changing behaviour or stream state.
+        """
+        return site in self._by_site
 
     # ------------------------------------------------------------- one-shot
 
@@ -168,8 +185,8 @@ class FaultInjector:
         probabilistic specs draw from their seeded stream. At most one spec
         fires per invocation (the first match in plan order).
         """
-        for i, spec in enumerate(self.plan.specs):
-            if spec.site != site or not spec.matches(target):
+        for i, spec in self._by_site.get(site, ()):
+            if not spec.matches(target):
                 continue
             if spec.count and self._fired[i] >= spec.count:
                 continue
@@ -194,8 +211,8 @@ class FaultInjector:
         invocations return the spec silently (the fault is one event, even
         if it affects many operations).
         """
-        for i, spec in enumerate(self.plan.specs):
-            if spec.site != site or not spec.matches(target):
+        for i, spec in self._by_site.get(site, ()):
+            if not spec.matches(target):
                 continue
             if not spec.scheduled or spec.duration_s is None:
                 continue

@@ -59,6 +59,10 @@ class SimulatedComm:
                 f"node_names covers {len(node_names)} nodes; ranks span {n_nodes}"
             )
         self.node_names = list(node_names)
+        # Distinct node indices, precomputed once: ``_check_faults`` runs on
+        # every collective, and rebuilding the sorted set per call is pure
+        # overhead at cluster-scale rank counts.
+        self._node_indices = sorted(set(self.node_of_rank))
         #: Shared fault-injection plane (None on the happy path).
         self.injector = injector
         #: Observability session; collectives record spans on the "mpi" track.
@@ -101,23 +105,29 @@ class SimulatedComm:
         inj = self.injector
         if inj is None:
             return
-        for node_index in sorted(set(self.node_of_rank)):
-            name = self.node_names[node_index]
-            if inj.fires(
-                "slurm.node_fail",
-                t,
-                target=name,
-                detail=f"node {name} failed during a collective",
-            ):
-                raise NodeFailure((name,), t)
-        for rank in range(self.size):
-            if inj.fires(
-                "mpi.rank_fail",
-                t,
-                target=rank,
-                detail=f"rank {rank} died during a collective",
-            ):
-                raise RankFailure(rank, t)
+        # Per-site gating: ``fires`` on an unarmed site is a guaranteed
+        # no-op (no match, no RNG draw), so the O(nodes)/O(ranks) polling
+        # loops — one injector call per target per collective — collapse to
+        # two O(1) checks on the common no-fault-plan-for-MPI path.
+        if inj.armed("slurm.node_fail"):
+            for node_index in self._node_indices:
+                name = self.node_names[node_index]
+                if inj.fires(
+                    "slurm.node_fail",
+                    t,
+                    target=name,
+                    detail=f"node {name} failed during a collective",
+                ):
+                    raise NodeFailure((name,), t)
+        if inj.armed("mpi.rank_fail"):
+            for rank in range(self.size):
+                if inj.fires(
+                    "mpi.rank_fail",
+                    t,
+                    target=rank,
+                    detail=f"rank {rank} died during a collective",
+                ):
+                    raise RankFailure(rank, t)
 
     def _link_factor(self, t: float) -> float:
         """Transfer-cost multiplier (>= 1) while a link-degradation window
@@ -192,7 +202,12 @@ class SimulatedComm:
         at ``max(own, neighbours) + 2·worst-link transfer``.
         """
         if self.size == 1:
-            return self.gpus[0].clock.now
+            # A lone rank has no neighbours to swap with, but the fault
+            # plane must still be polled: an active rank/node failure
+            # surfaces out of every collective, matching barrier/allreduce.
+            now = self.gpus[0].clock.now
+            self._check_faults(now)
+            return now
         times = np.array([g.clock.now for g in self.gpus])
         t_entry = float(times.max())
         self._check_faults(t_entry)

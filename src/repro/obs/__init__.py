@@ -19,6 +19,7 @@ from repro.obs.export import (
     write_metrics_json,
     write_trace_json,
 )
+from repro.obs.dist import emit_graph_trace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.session import (
     NULL_TRACE,
@@ -48,6 +49,7 @@ __all__ = [
     "absorb_scheduler",
     "chrome_trace",
     "dump_json",
+    "emit_graph_trace",
     "metrics_document",
     "resolve_trace",
     "write_metrics_json",

@@ -1,0 +1,54 @@
+"""Per-rank trace tracks for distributed graph runs.
+
+Graph executors return node start/finish arrays rather than emitting
+spans inline (the batched path is pure and never touches a tracer), so
+tracing a distributed run is retroactive: hand
+:func:`emit_graph_trace` the graph and its :class:`ExecutionResult`
+and it lays every command onto the session's timeline — one
+``rank{r}`` track per rank for kernels and their halo pulls, gathers on
+a shared ``mpi`` track. The same convention as the single-device obs
+plane (spans carry category + attrs; the exporters do the rest).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.session import TraceSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distributed.graph import CommandGraph
+
+
+def emit_graph_trace(session: TraceSession, graph: CommandGraph, result) -> int:
+    """Record one span per graph node; returns the number emitted.
+
+    Kernel spans land on their rank's track with the plan-visible
+    attributes (wave, node id); halo transfers land on the *receiving*
+    rank's track under the ``comm`` category, so the overlap with that
+    rank's compute is visible in the rendered timeline. Gathers are
+    cluster-wide and get the ``mpi`` track. No-op (returns 0) on a
+    disabled session.
+    """
+    from repro.distributed.graph import GATHER, KERNEL
+
+    if not session.enabled:
+        return 0
+    start = result.start_s
+    finish = result.finish_s
+    emitted = 0
+    for node in graph.nodes:
+        t0 = float(start[node.nid])
+        t1 = float(finish[node.nid])
+        if node.kind == KERNEL:
+            track, category = f"rank{node.rank}", "kernel"
+        elif node.kind == GATHER:
+            track, category = "mpi", "collective"
+        else:
+            track, category = f"rank{node.rank}", "comm"
+        session.add_span(
+            track, category, node.label, t0, t1,
+            wave=node.wave, nid=node.nid, kind=node.kind,
+        )
+        emitted += 1
+    return emitted

@@ -16,6 +16,11 @@ without wall-clock threads.
 
 from repro.sycl.accessor import AccessMode, Accessor, read_only, read_write, write_only
 from repro.sycl.buffer import Buffer
+from repro.sycl.distributed import (
+    DistributedAccess,
+    DistributedBuffer,
+    DistributedRange,
+)
 from repro.sycl.device import (
     SyclDevice,
     cpu_selector_v,
@@ -31,6 +36,9 @@ from repro.sycl.queue import Queue
 __all__ = [
     "Queue",
     "Buffer",
+    "DistributedRange",
+    "DistributedBuffer",
+    "DistributedAccess",
     "Accessor",
     "AccessMode",
     "read_only",

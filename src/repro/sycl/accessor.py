@@ -31,6 +31,11 @@ class AccessMode(enum.Enum):
         """Whether this mode can modify the buffer."""
         return self is not AccessMode.READ
 
+    @property
+    def reads(self) -> bool:
+        """Whether this mode observes the buffer's prior contents."""
+        return self is not AccessMode.WRITE
+
 
 #: SYCL 2020 accessor tag objects.
 read_only = AccessMode.READ

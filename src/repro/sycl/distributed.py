@@ -1,0 +1,152 @@
+"""Distributed buffer ranges for the command-graph scheduler.
+
+A :class:`DistributedRange` block-partitions a 1-D index space over the
+ranks of a communicator; a :class:`DistributedBuffer` is the *metadata*
+of a buffer distributed over such a range — per-rank block extents and
+element size, but no host array. At cluster scale (the Fig. 10 regime,
+256–2048 ranks) the simulation reasons about dependency structure and
+transfer volumes, never about payload values, so materializing gigabytes
+of NumPy storage per run would be pure waste.
+
+Command groups name their accesses with :class:`DistributedAccess`
+(buffer, SYCL access mode, halo width in elements). The command graph
+(:mod:`repro.distributed.graph`) derives inter-rank dependency edges and
+halo-transfer commands from these declarations, exactly as the
+runtime-visible accessor set drives single-device hazard ordering in
+:mod:`repro.sycl.queue`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.sycl.accessor import AccessMode
+
+_dbuffer_ids = itertools.count()
+
+
+class DistributedRange:
+    """A block partition of ``range(n)`` over ``n_ranks`` ranks.
+
+    Elements are split as evenly as possible (the first ``n % n_ranks``
+    ranks hold one extra element), matching the usual block distribution
+    of stencil codes. Every rank owns a contiguous, possibly empty slice.
+    """
+
+    def __init__(self, n: int, n_ranks: int) -> None:
+        if n <= 0:
+            raise ValidationError(f"distributed range needs n > 0 ({n})")
+        if n_ranks <= 0:
+            raise ValidationError(f"distributed range needs ranks > 0 ({n_ranks})")
+        self.n = int(n)
+        self.n_ranks = int(n_ranks)
+        base, extra = divmod(self.n, self.n_ranks)
+        counts = np.full(self.n_ranks, base, dtype=np.int64)
+        counts[:extra] += 1
+        self.counts = counts
+        self.bounds = np.concatenate(([0], np.cumsum(counts)))
+        self.counts.setflags(write=False)
+        self.bounds.setflags(write=False)
+
+    def slice_of(self, rank: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` element range owned by ``rank``."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValidationError(
+                f"rank {rank} out of range (n_ranks {self.n_ranks})"
+            )
+        return int(self.bounds[rank]), int(self.bounds[rank + 1])
+
+    def count_of(self, rank: int) -> int:
+        """Number of elements owned by ``rank``."""
+        lo, hi = self.slice_of(rank)
+        return hi - lo
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistributedRange(n={self.n}, n_ranks={self.n_ranks})"
+
+
+class DistributedBuffer:
+    """Metadata of a buffer block-distributed over a rank range.
+
+    Holds no host array — only the partition and the element size, which
+    is everything the graph scheduler needs to size halo and gather
+    transfers. Hazard tracking (which command last wrote each block) is
+    the command graph's job, not the buffer's, so one buffer can be used
+    by several independently-built graphs.
+    """
+
+    def __init__(
+        self,
+        range_: DistributedRange,
+        *,
+        itemsize: int = 4,
+        name: str | None = None,
+    ) -> None:
+        if itemsize <= 0:
+            raise ValidationError(f"itemsize must be positive ({itemsize})")
+        self.range = range_
+        self.itemsize = int(itemsize)
+        self.name = name if name is not None else f"dbuf{next(_dbuffer_ids)}"
+
+    @property
+    def n_ranks(self) -> int:
+        """Ranks the buffer is distributed over."""
+        return self.range.n_ranks
+
+    def block_nbytes(self, rank: int) -> int:
+        """Bytes of the block owned by ``rank``."""
+        return self.range.count_of(rank) * self.itemsize
+
+    # Access-declaration sugar: ``buf.read(halo=1)`` reads like the SYCL
+    # accessor-mode tags (``read_only`` etc.) the single-device queue uses.
+
+    def read(self, halo: int = 0) -> "DistributedAccess":
+        """Declare a read access, optionally with a halo of neighbours."""
+        return DistributedAccess(self, AccessMode.READ, halo=halo)
+
+    def write(self) -> "DistributedAccess":
+        """Declare a write (discard) access."""
+        return DistributedAccess(self, AccessMode.WRITE)
+
+    def read_write(self, halo: int = 0) -> "DistributedAccess":
+        """Declare a read-modify-write access."""
+        return DistributedAccess(self, AccessMode.READ_WRITE, halo=halo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistributedBuffer({self.name!r}, n={self.range.n}, "
+            f"n_ranks={self.range.n_ranks}, itemsize={self.itemsize})"
+        )
+
+
+@dataclass(frozen=True)
+class DistributedAccess:
+    """One declared access of a command group to a distributed buffer.
+
+    ``halo`` is the per-side ghost width in *elements*: a read with
+    ``halo > 0`` needs that many boundary elements from each neighbouring
+    rank's block, which the graph materializes as halo-transfer commands.
+    Halos on write-only accesses are meaningless and rejected.
+    """
+
+    buffer: DistributedBuffer
+    mode: AccessMode
+    halo: int = 0
+
+    def __post_init__(self) -> None:
+        if self.halo < 0:
+            raise ValidationError(f"halo must be >= 0 ({self.halo})")
+        if self.halo and not self.mode.reads:
+            raise ValidationError("halo only applies to reading accesses")
+
+    @property
+    def halo_nbytes(self) -> int:
+        """Bytes pulled from each neighbour for this access."""
+        return self.halo * self.buffer.itemsize

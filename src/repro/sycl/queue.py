@@ -60,12 +60,15 @@ class Queue:
 
         from repro.sycl.buffer import Buffer as _Buffer
 
-        data = src.data if isinstance(src, _Buffer) else np.asarray(src)
+        src_buf = src if isinstance(src, _Buffer) else None
+        data = src_buf.data if src_buf is not None else np.asarray(src)
         if data.shape != dst.shape:
             raise ValidationError(
                 f"memcpy shape mismatch: {data.shape} vs {dst.shape}"
             )
-        return self._transfer(dst, lambda: np.copyto(dst.data, data))
+        return self._transfer(
+            dst, lambda: np.copyto(dst.data, data), src=src_buf
+        )
 
     def fill(self, dst: "Buffer", value) -> Event:
         """Fill a buffer with one value (SYCL ``queue::fill``)."""
@@ -79,12 +82,18 @@ class Queue:
         """
         return self._transfer(buf, lambda: None)
 
-    def _transfer(self, buf: "Buffer", apply) -> Event:
+    def _transfer(self, buf: "Buffer", apply, src: "Buffer | None" = None) -> Event:
         gpu = self.device.gpu
         submit_time = gpu.clock.now
         ready = submit_time
         for dep in buf.dependencies(writing=True):
             ready = max(ready, dep.end_s)
+        if src is not None:
+            # A buffer-sourced copy reads ``src``: it must wait for the
+            # source's pending writer (RAW) and be visible as a reader so a
+            # later write to ``src`` orders behind the copy (WAR).
+            for dep in src.dependencies(writing=False):
+                ready = max(ready, dep.end_s)
         record = gpu.transfer(buf.data.nbytes, submit_time=ready)
         event = Event(
             device=gpu,
@@ -94,6 +103,8 @@ class Queue:
             record=record,
         )
         buf.mark_write(event)
+        if src is not None:
+            src.mark_read(event)
         apply()
         self._events.append(event)
         return event

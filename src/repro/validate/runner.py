@@ -37,7 +37,7 @@ SWEEP_SPECS: tuple[GPUSpec, ...] = (NVIDIA_V100, AMD_MI100)
 #: Selectable report sections.
 SECTIONS: tuple[str, ...] = (
     "sweeps", "powercap", "scenarios", "differential", "frontend", "adapt",
-    "engine", "service",
+    "engine", "service", "distributed",
 )
 
 
@@ -134,6 +134,14 @@ def _service_section(report: ValidationReport, seed: int) -> None:
         report.extend(run_service_checks(seed))
 
 
+def _distributed_section(report: ValidationReport) -> None:
+    from repro.core.sweepcache import scoped_cache
+    from repro.validate.distributed import run_distributed_checks
+
+    with scoped_cache():
+        report.extend(run_distributed_checks())
+
+
 def _adapt_section(report: ValidationReport, seed: int) -> None:
     from repro.core.sweepcache import scoped_cache
     from repro.validate.adapt import run_adapt_checks
@@ -179,4 +187,6 @@ def run_validation(
         _engine_section(report)
     if "service" in sections:
         _service_section(report, seed)
+    if "distributed" in sections:
+        _distributed_section(report)
     return report

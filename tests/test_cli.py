@@ -28,6 +28,7 @@ ALL_SUBCOMMANDS = [
     "adapt",
     "serve",
     "loadgen",
+    "distributed",
 ]
 
 
@@ -265,6 +266,52 @@ def test_adapt_writes_comparison_json(tmp_path, capsys):
     assert [run["label"] for run in doc["runs"]] == [
         "max-perf", "static-clean", "static-fault", "adaptive-fault",
     ]
+
+
+# -------------------------------------------------------- smoke: distributed
+
+def test_distributed_run_writes_summary_json(tmp_path, capsys):
+    out = tmp_path / "distributed.json"
+    assert main(["distributed", "--ranks", "4", "--steps", "2",
+                 "--json", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "Per-rank plan & execution" in text
+    assert "Command graph" in text
+    assert "executed via batched" in text
+    doc = json.loads(out.read_text())
+    assert doc["ranks"] == 4
+    assert doc["graph"]["nodes"] > 0
+    assert doc["plan"]["critical_rank"] in range(4)
+    assert len(doc["plan"]["rank_targets"]) == 4
+    assert doc["result"]["completion_s"] > 0.0
+    assert doc["saved_j"] >= 0.0
+
+
+def test_distributed_scalar_engine_matches_mode(capsys):
+    assert main(["distributed", "--ranks", "2", "--steps", "1",
+                 "--engine", "scalar"]) == 0
+    assert "executed via scalar" in capsys.readouterr().out
+
+
+def test_distributed_bench_quick_merges_section(tmp_path, capsys):
+    bench_path = tmp_path / "BENCH_perf.json"
+    bench_path.write_text(json.dumps({"existing": {"keep": True}}))
+    assert main(["distributed", "--bench", "--quick",
+                 "--json", str(bench_path)]) == 0
+    text = capsys.readouterr().out
+    assert "Batched vs scalar parity" in text
+    assert "Weak scaling" in text
+    doc = json.loads(bench_path.read_text())
+    assert doc["existing"] == {"keep": True}
+    section = doc["distributed"]
+    assert section["quick"] is True
+    assert section["base"]["parity_rel_err"] <= 1e-12
+    assert section["base"]["switches_equal"] is True
+    assert all(s["mode"] == "batched" for s in section["scales"])
+
+
+def test_distributed_bad_ranks_exit_code():
+    assert main(["distributed", "--ranks", "0"]) == 2
 
 
 # ------------------------------------------------- smoke: analyze / lint

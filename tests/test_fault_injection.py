@@ -581,3 +581,103 @@ class TestAcceptance:
         assert [s1.jobs[i].state for i in s1.jobs] == [
             s2.jobs[i].state for i in s2.jobs
         ]
+
+
+class TestSiteIndexEquivalence:
+    """Regression: the per-site spec index must be invisible in behaviour.
+
+    ``FaultInjector.fires``/``active`` now walk a site-keyed index instead
+    of the whole plan per invocation. A reference injector driven through
+    a literal full-plan walk (the pre-index implementation) over the same
+    seeded call sequence must produce a byte-identical fault log, the same
+    returned specs, and the same per-spec firing counters.
+    """
+
+    @staticmethod
+    def _fires_reference(inj, site, now, target=None, detail=""):
+        """The pre-index ``fires`` body, driven over ``inj``'s state."""
+        for i, spec in enumerate(inj.plan.specs):
+            if spec.site != site or not spec.matches(target):
+                continue
+            if spec.count and inj._fired[i] >= spec.count:
+                continue
+            if spec.scheduled:
+                if now < spec.at_s:
+                    continue
+            elif not inj._rngs[i].random() < spec.probability:
+                continue
+            inj._fired[i] += 1
+            inj.log.record_fault(now, site, target, detail)
+            return spec
+        return None
+
+    @staticmethod
+    def _active_reference(inj, site, now, target=None):
+        """The pre-index ``active`` body, driven over ``inj``'s state."""
+        for i, spec in enumerate(inj.plan.specs):
+            if spec.site != site or not spec.matches(target):
+                continue
+            if not spec.scheduled or spec.duration_s is None:
+                continue
+            if spec.at_s <= now < spec.at_s + spec.duration_s:
+                if i not in inj._activated:
+                    inj._activated.add(i)
+                    inj._fired[i] += 1
+                    inj.log.record_fault(
+                        now, site, target,
+                        f"window [{spec.at_s:.6f}, "
+                        f"{spec.at_s + spec.duration_s:.6f}]s",
+                    )
+                return spec
+        return None
+
+    def _mixed_plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=11,
+            specs=(
+                FaultSpec(site="mpi.rank_fail", probability=0.05, count=2),
+                FaultSpec(site="slurm.node_fail", at_s=0.75, target="node001"),
+                FaultSpec(site="nvml.set_clocks", probability=0.2, count=3),
+                FaultSpec(site="mpi.rank_fail", probability=0.1, target=3),
+                FaultSpec(
+                    site="mpi.link_degraded", at_s=0.2,
+                    duration_s=0.3, param=0.5,
+                ),
+                FaultSpec(site="hw.thermal_throttle", at_s=0.1,
+                          duration_s=0.5, param=900.0),
+            ),
+        )
+
+    def test_fires_and_active_match_full_plan_walk(self):
+        plan = self._mixed_plan()
+        indexed = plan.injector()
+        reference = plan.injector()
+        calls = []
+        for step in range(400):
+            t = step * 0.01
+            calls.append(("fires", "mpi.rank_fail", t, step % 8))
+            calls.append(("fires", "slurm.node_fail", t, f"node{step % 4:03d}"))
+            calls.append(("fires", "nvml.set_clocks", t, step % 2))
+            calls.append(("active", "mpi.link_degraded", t, None))
+            calls.append(("active", "hw.thermal_throttle", t, step % 2))
+        for kind, site, t, target in calls:
+            if kind == "fires":
+                got = indexed.fires(site, t, target=target, detail="d")
+                want = self._fires_reference(
+                    reference, site, t, target=target, detail="d"
+                )
+            else:
+                got = indexed.active(site, t, target=target)
+                want = self._active_reference(reference, site, t, target=target)
+            assert got is want or (got == want)
+        assert indexed.log.to_dicts() == reference.log.to_dicts()
+        assert indexed.log.to_dicts()  # the mix actually fired something
+        assert indexed._fired == reference._fired
+
+    def test_unarmed_site_reports_not_armed(self):
+        inj = self._mixed_plan().injector()
+        assert inj.armed("mpi.rank_fail")
+        assert not inj.armed("slurm.drain")
+        # Unarmed polls are no-ops and leave no log entries.
+        assert inj.fires("slurm.drain", 0.0, target="node000") is None
+        assert inj.log.to_dicts() == []

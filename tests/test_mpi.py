@@ -114,6 +114,33 @@ class TestSimulatedComm:
         t = comm.halo_exchange(1 << 16)
         assert t == 0.0
 
+    def test_halo_exchange_single_rank_polls_fault_plane(self):
+        """Regression: the size==1 early return skipped ``_check_faults``.
+
+        An active rank/node failure must surface out of *every* collective
+        — barrier and allreduce raised, but a single-rank halo exchange
+        returned before polling the fault plane.
+        """
+        from repro.faults import (
+            FaultInjector, FaultPlan, FaultSpec, NodeFailure, RankFailure,
+        )
+
+        rank_plan = FaultPlan(
+            seed=3, specs=(FaultSpec(site="mpi.rank_fail", at_s=0.0),)
+        )
+        gpus = [SimulatedGPU(NVIDIA_V100, clock=VirtualClock())]
+        comm = SimulatedComm(gpus, [0], injector=FaultInjector(rank_plan))
+        with pytest.raises(RankFailure):
+            comm.halo_exchange(1 << 16)
+
+        node_plan = FaultPlan(
+            seed=3, specs=(FaultSpec(site="slurm.node_fail", at_s=0.0),)
+        )
+        gpus = [SimulatedGPU(NVIDIA_V100, clock=VirtualClock())]
+        comm = SimulatedComm(gpus, [0], injector=FaultInjector(node_plan))
+        with pytest.raises(NodeFailure):
+            comm.halo_exchange(1 << 16)
+
     def test_comm_time_accumulates(self):
         comm = _make_comm(4)
         comm.halo_exchange(1 << 20)

@@ -92,6 +92,50 @@ def test_negative_transfer_rejected(v100):
         v100.transfer(-1.0)
 
 
+def test_memcpy_from_buffer_waits_for_producer_kernel(v100):
+    """Regression: buffer-sourced memcpy must honour the source's writer.
+
+    ``Queue.memcpy`` with a Buffer source used to fold only the
+    destination's dependencies, so a copy issued on a *second* queue could
+    start in virtual time before the kernel producing the source finished
+    (same-device copies were masked by hardware-queue serialization).
+    """
+    from repro.hw.device import SimulatedGPU
+    from repro.hw.specs import NVIDIA_V100
+    from repro.sycl import Accessor, write_only
+
+    producer_q = Queue(v100)
+    consumer_q = Queue(SimulatedGPU(NVIDIA_V100, index=1))
+    kernel = KernelIR(
+        "producer", InstructionMix(float_add=8, gl_access=2), work_items=1 << 22
+    )
+    src = Buffer(shape=1 << 20, dtype=np.float32)
+    dst = Buffer(shape=1 << 20, dtype=np.float32)
+    k_event = producer_q.submit(
+        lambda h: (Accessor(src, h, write_only),
+                   h.parallel_for(1 << 22, kernel))[-1]
+    )
+    copy = consumer_q.memcpy(dst, src)
+    assert k_event.end_s > 0.0
+    assert copy.start_s >= k_event.end_s
+
+
+def test_memcpy_source_read_orders_later_writes(v100):
+    """The copy registers as a reader of its source (WAR ordering)."""
+    from repro.hw.device import SimulatedGPU
+    from repro.hw.specs import NVIDIA_V100
+
+    reader_q = Queue(SimulatedGPU(NVIDIA_V100, index=1))
+    writer_q = Queue(v100)
+    src = Buffer(shape=1 << 22, dtype=np.float32)
+    dst = Buffer(shape=1 << 22, dtype=np.float32)
+    copy = reader_q.memcpy(dst, src)
+    assert copy in src.readers
+    overwrite = writer_q.fill(src, 1.0)
+    assert copy.end_s > 0.0
+    assert overwrite.start_s >= copy.end_s
+
+
 def test_transfer_power_below_kernel_power(queue, v100):
     kernel = KernelIR(
         "hot", InstructionMix(float_add=64, float_mul=64, gl_access=2),
