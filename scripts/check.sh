@@ -24,6 +24,12 @@ fi
 echo "== determinism lint (repro-synergy lint) =="
 python -m repro.cli lint
 
+echo "== static certification (scenario brackets + DEADLINE demo, strict) =="
+python -m repro.cli certify --strict
+
+echo "== static-analysis plane (kernel bank + certificates, strict) =="
+python -m repro.cli validate --only analysis --strict
+
 if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
     echo "== ruff (rules pinned in pyproject.toml) =="
     python -m ruff check src tests 2>/dev/null || ruff check src tests

@@ -1,0 +1,242 @@
+"""Independent race/deadlock audit of distributed command graphs.
+
+The builder in :mod:`repro.distributed.graph` derives RAW/WAR/WAW edges
+with a 3-pass stateful algorithm. This module cross-checks it with a
+different one: abstract-interpret each submitted wave's *declared*
+:class:`~repro.sycl.distributed.DistributedAccess` sets (the
+:class:`~repro.distributed.graph.WaveRecord` log — never the builder's
+hazard state) into per-node block access sets, then demand that every
+pair of conflicting accesses is ordered by a dependency *path*. A
+conflict the builder failed to order surfaces as a race; a dependency
+cycle (which would deadlock both executors) surfaces via Kahn's
+algorithm.
+
+The same conflict rule, applied to *timed* accesses recorded from a
+simulated run, powers the regression harness that re-detects the
+``Queue.memcpy`` source hazard when its fix is reverted: two intervals on
+one buffer that overlap in virtual time with at least one writer are a
+race the event graph failed to serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.distributed.graph import GATHER, HALO, CommandGraph
+
+#: Block-access kinds.
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class BlockAccess:
+    """One node's access to one block of a distributed buffer."""
+
+    nid: int
+    block: tuple
+    writes: bool
+    label: str
+
+
+@dataclass(frozen=True)
+class GraphAudit:
+    """Outcome of the shadow derivation over one command graph."""
+
+    n_nodes: int
+    pairs_checked: int
+    races: tuple[str, ...]
+    cycle: tuple[int, ...] | None
+
+    @property
+    def ok(self) -> bool:
+        return not self.races and self.cycle is None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_nodes": self.n_nodes,
+            "pairs_checked": self.pairs_checked,
+            "races": list(self.races),
+            "cycle": list(self.cycle) if self.cycle is not None else None,
+            "ok": self.ok,
+        }
+
+
+def find_cycle(deps: Mapping[int, Iterable[int]]) -> tuple[int, ...] | None:
+    """A dependency cycle in ``{node: its deps}``, or ``None`` if acyclic.
+
+    Kahn's algorithm: peel nodes with no unfinished dependencies; anything
+    left afterwards sits on a cycle, and a walk along still-blocked
+    dependencies inside that remainder recovers one explicitly.
+    """
+    pending = {n: set(d) for n, d in deps.items()}
+    for reqs in pending.values():
+        reqs.intersection_update(pending)  # ignore deps outside the graph
+    dependants: dict[int, list[int]] = {n: [] for n in pending}
+    for n, reqs in pending.items():
+        for d in reqs:
+            dependants[d].append(n)
+    ready = [n for n, reqs in pending.items() if not reqs]
+    while ready:
+        n = ready.pop()
+        for follower in dependants[n]:
+            reqs = pending[follower]
+            reqs.discard(n)
+            if not reqs and follower in pending:
+                ready.append(follower)
+        del pending[n]
+    if not pending:
+        return None
+    # Every remaining node has a remaining dependency; following them must
+    # revisit a node within len(pending) steps.
+    seen: dict[int, int] = {}
+    path: list[int] = []
+    node = next(iter(pending))
+    while node not in seen:
+        seen[node] = len(path)
+        path.append(node)
+        node = min(r for r in pending[node] if r in pending)
+    return tuple(path[seen[node]:])
+
+
+def _block_accesses(graph: CommandGraph) -> list[BlockAccess]:
+    """Re-derive every (node, block) access from the submission log."""
+    out: list[BlockAccess] = []
+    for record in graph.submissions:
+        if record.kind == "gather":
+            assert record.buffer is not None and record.gather_nid is not None
+            node = graph.nodes[record.gather_nid]
+            for rank in range(graph.n_ranks):
+                out.append(
+                    BlockAccess(
+                        nid=node.nid,
+                        block=(record.buffer.name, rank),
+                        writes=False,
+                        label=node.label,
+                    )
+                )
+            continue
+        halo_of = dict(record.halo_nids)
+        for ai, access in enumerate(record.accesses):
+            buf = access.buffer.name
+            for rank, knid in record.kernel_nids:
+                kernel = graph.nodes[knid]
+                if access.mode.reads:
+                    out.append(
+                        BlockAccess(knid, (buf, rank), False, kernel.label)
+                    )
+                if access.mode.writes:
+                    out.append(
+                        BlockAccess(knid, (buf, rank), True, kernel.label)
+                    )
+                hid = halo_of.get((rank, ai))
+                if hid is None:
+                    continue
+                halo = graph.nodes[hid]
+                # The transfer reads both neighbour blocks and materializes
+                # the rank's ghost region, which only this wave's kernel
+                # reads — the ghost block is keyed by wave so successive
+                # exchanges never alias.
+                for n in (rank - 1, rank + 1):
+                    if 0 <= n < graph.n_ranks:
+                        out.append(
+                            BlockAccess(hid, (buf, n), False, halo.label)
+                        )
+                ghost = (buf, "ghost", rank, record.wave)
+                out.append(BlockAccess(hid, ghost, True, halo.label))
+                out.append(BlockAccess(knid, ghost, False, kernel.label))
+    return out
+
+
+def _ancestors(graph: CommandGraph) -> list[int]:
+    """Per-node ancestor sets as bit masks (node ids are topological)."""
+    anc = [0] * len(graph.nodes)
+    for node in graph.nodes:
+        mask = 1 << node.nid
+        for dep in node.deps:
+            mask |= anc[dep]
+        anc[node.nid] = mask
+    return anc
+
+
+def audit_graph(graph: CommandGraph) -> GraphAudit:
+    """Shadow-derive block accesses and verify every conflict is ordered.
+
+    Returns a :class:`GraphAudit`; ``ok`` means the graph is certified
+    race-free and deadlock-free under its declared access sets.
+    """
+    cycle = find_cycle({n.nid: n.deps for n in graph.nodes})
+    anc = _ancestors(graph) if cycle is None else None
+
+    by_block: dict[tuple, list[BlockAccess]] = {}
+    for acc in _block_accesses(graph):
+        by_block.setdefault(acc.block, []).append(acc)
+
+    races: list[str] = []
+    seen: set[tuple] = set()
+    pairs = 0
+    for block, accs in by_block.items():
+        for i, a in enumerate(accs):
+            for b in accs[i + 1:]:
+                if a.nid == b.nid or not (a.writes or b.writes):
+                    continue
+                pairs += 1
+                lo, hi = min(a.nid, b.nid), max(a.nid, b.nid)
+                if anc is not None and (anc[hi] >> lo) & 1:
+                    continue
+                key = (block, lo, hi)
+                if key in seen:
+                    continue
+                seen.add(key)
+                kind = "write/write" if a.writes and b.writes else "read/write"
+                races.append(
+                    f"unordered {kind} conflict on block {block!r}: "
+                    f"node {a.nid} ({a.label}) vs node {b.nid} ({b.label})"
+                )
+    return GraphAudit(
+        n_nodes=len(graph.nodes),
+        pairs_checked=pairs,
+        races=tuple(sorted(races)),
+        cycle=cycle,
+    )
+
+
+# ----------------------------------------------------- timed (event) audits
+
+
+@dataclass(frozen=True)
+class TimedAccess:
+    """One operation's access to a buffer over a virtual-time interval.
+
+    Built by test harnesses from an operation's *declared* semantics (a
+    ``memcpy`` reads its source for the whole transfer, a fill writes its
+    target), with ``start_s``/``end_s`` taken from the simulated events.
+    """
+
+    buffer: str
+    writes: bool
+    start_s: float
+    end_s: float
+    label: str
+
+
+def audit_timed_accesses(
+    accesses: Sequence[TimedAccess],
+) -> tuple[tuple[TimedAccess, TimedAccess], ...]:
+    """Conflicting pairs the event graph failed to serialize.
+
+    Two accesses conflict when they touch the same buffer, at least one
+    writes, they come from different operations, and their half-open
+    intervals ``[start_s, end_s)`` overlap in virtual time.
+    """
+    conflicts: list[tuple[TimedAccess, TimedAccess]] = []
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1:]:
+            if a.buffer != b.buffer or a.label == b.label:
+                continue
+            if not (a.writes or b.writes):
+                continue
+            if a.start_s < b.end_s and b.start_s < a.end_s:
+                conflicts.append((a, b))
+    return tuple(conflicts)

@@ -549,8 +549,26 @@ def _resolve_analysis_target(target: str):
             return obj.analysis, obj
         if not callable(obj):
             raise ConfigurationError(f"{target!r} is not a function")
-        src = textwrap.dedent(inspect.getsource(obj))
-        return analyze_source(src, fn_name=obj.__name__), None
+        lines, start_line = inspect.getsourcelines(obj)
+        raw = "".join(lines)
+        src = textwrap.dedent(raw)
+        # Report locations in the defining file's coordinates: shift lines
+        # by the function's position and columns by the stripped indent
+        # (anchors inside multi-line statements shift identically).
+        indent = 0
+        for before, after in zip(raw.splitlines(), src.splitlines()):
+            if after.strip():
+                indent = len(before) - len(after)
+                break
+        return (
+            analyze_source(
+                src,
+                fn_name=obj.__name__,
+                line_offset=start_line - 1,
+                col_offset=indent,
+            ),
+            None,
+        )
     if target in KERNELS:
         dk = KERNELS[target]
         return dk.analysis, dk
@@ -593,16 +611,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "locality_estimate": est.value,
                 "locality_pinned": pin,
                 "diagnostics": [d.as_dict() for d in analysis.diagnostics],
+                "races": [d.as_dict() for d in analysis.races],
             },
             args.json,
         )
         print(f"wrote {args.json}", file=sys.stderr)
-    if analysis.diagnostics:
-        print(f"{len(analysis.diagnostics)} diagnostics:", file=sys.stderr)
-        for d in analysis.diagnostics:
+    findings = analysis.diagnostics + analysis.races
+    if findings:
+        print(f"{len(findings)} diagnostics:", file=sys.stderr)
+        for d in findings:
             print(f"  {d.format()}", file=sys.stderr)
         return 1
-    print("diagnostics: none (kernel is inside the device-Python subset)")
+    print(
+        "diagnostics: none (kernel is inside the device-Python subset and "
+        "race/bounds-clean)"
+    )
     return 0
 
 
@@ -895,6 +918,83 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import certify_scenarios, deadline_demo
+
+    scenarios = tuple(args.scenario) if args.scenario else None
+    certificates = certify_scenarios(seed=args.seed, scenarios=scenarios)
+    rows = []
+    failures = 0
+    for name, cert in certificates.items():
+        for bracket in cert.checks:
+            ok = bracket.ok
+            failures += not ok
+            rows.append([
+                name,
+                bracket.quantity,
+                f"{bracket.interval}",
+                f"{bracket.measured:.6e}",
+                "ok" if ok else "OUTSIDE",
+            ])
+        for label, ok in cert.assertions:
+            failures += not ok
+            rows.append([name, "assert", label, "", "ok" if ok else "FAILED"])
+    print(
+        format_table(
+            ["scenario", "quantity", "static interval", "measured", "verdict"],
+            rows,
+            title=f"Plan certificates (seed={args.seed})",
+        )
+    )
+    for name, cert in certificates.items():
+        for note in cert.notes:
+            print(f"  {name}: {note}", file=sys.stderr)
+
+    cert_ok, cert_bad = deadline_demo(seed=args.seed)
+    demo_ok = (
+        cert_ok.feasible
+        and not cert_bad.feasible
+        and cert_bad.witness is not None
+    )
+    failures += not demo_ok
+    print(
+        f"DEADLINE demo: feasible plan "
+        f"{'proved' if cert_ok.feasible else 'REFUTED (bug)'}; "
+        f"infeasible plan "
+        + (
+            f"refuted with witness {cert_bad.witness!r}"
+            if not cert_bad.feasible
+            else "NOT refuted (bug)"
+        )
+    )
+    if cert_bad.violations:
+        print(f"  {cert_bad.violations[0]}")
+
+    if args.json:
+        write_json(
+            {
+                "seed": args.seed,
+                "ok": failures == 0,
+                "scenarios": {
+                    name: cert.as_dict()
+                    for name, cert in certificates.items()
+                },
+                "deadline_demo": {
+                    "feasible": cert_ok.as_dict(),
+                    "infeasible": cert_bad.as_dict(),
+                },
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    verdict = "certified" if failures == 0 else f"{failures} FAILURES"
+    print(f"certification {verdict} "
+          f"({len(certificates)} scenarios + DEADLINE demo"
+          f"{', strict' if args.strict else ''})")
+    return 0 if failures == 0 else 1
+
+
 # -------------------------------------------------------------------- parser
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1034,6 +1134,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None,
                    help="export features and diagnostics to a JSON file")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("certify", help="statically certify frequency plans: "
+                       "bracket the golden scenarios, audit the weak-scaling "
+                       "graph, prove/refute DEADLINE feasibility")
+    from repro.analysis.scenarios import CERTIFIERS
+
+    p.add_argument("--scenario", nargs="+", choices=sorted(CERTIFIERS),
+                   default=None,
+                   help="scenarios to certify (default: all)")
+    p.add_argument("--seed", type=int, default=7, help="scenario seed")
+    p.add_argument("--strict", action="store_true",
+                   help="accepted for symmetry with validate; certificates "
+                   "always gate hard")
+    p.add_argument("--json", default=None,
+                   help="export all certificates to a JSON file")
+    p.set_defaults(fn=_cmd_certify)
 
     p = sub.add_parser("lint", help="repo-wide determinism linter")
     p.add_argument("paths", nargs="*",

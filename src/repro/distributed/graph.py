@@ -43,6 +43,27 @@ GATHER = "gather"
 
 
 @dataclass(frozen=True)
+class WaveRecord:
+    """What one builder call *declared*, before any edge was derived.
+
+    The static auditor (:mod:`repro.analysis.graphaudit`) re-derives every
+    block access from these records alone — never from the builder's edge
+    state — so it cross-checks the 3-pass hazard derivation with an
+    independent algorithm. ``kernel_nids`` maps active ranks to their
+    kernel node, ``halo_nids`` maps ``(rank, access index)`` to the halo
+    transfer that serves that access.
+    """
+
+    wave: int
+    kind: str  # "parallel_for" or "gather"
+    accesses: tuple[DistributedAccess, ...]
+    buffer: "DistributedBuffer | None"
+    kernel_nids: tuple[tuple[int, int], ...]
+    halo_nids: tuple[tuple[tuple[int, int], int], ...]
+    gather_nid: int | None
+
+
+@dataclass(frozen=True)
 class CommandNode:
     """One scheduled command: a rank-local kernel or a transfer.
 
@@ -82,6 +103,7 @@ class CommandGraph:
         self.node_of_rank = list(node_of_rank)
         self.network = network if network is not None else NetworkModel()
         self.nodes: list[CommandNode] = []
+        self.submissions: list[WaveRecord] = []
         self._wave = -1
         # Per (buffer, rank) hazard state: the node id of the last write,
         # and ids of reads since then. Owned by the graph (not the buffer)
@@ -234,6 +256,17 @@ class CommandGraph:
                     readers[node.rank] = []
                 else:
                     readers[node.rank].append(node.nid)
+        self.submissions.append(
+            WaveRecord(
+                wave=self._wave,
+                kind="parallel_for",
+                accesses=tuple(accesses),
+                buffer=None,
+                kernel_nids=tuple((n.rank, n.nid) for n in created),
+                halo_nids=tuple(halo_of.items()),
+                gather_nid=None,
+            )
+        )
         return created
 
     def gather(
@@ -266,6 +299,17 @@ class CommandGraph:
         )
         for rank in range(self.n_ranks):
             readers[rank].append(node.nid)
+        self.submissions.append(
+            WaveRecord(
+                wave=self._wave,
+                kind="gather",
+                accesses=(),
+                buffer=buf,
+                kernel_nids=(),
+                halo_nids=(),
+                gather_nid=node.nid,
+            )
+        )
         return node
 
     # ------------------------------------------------------------ inspection

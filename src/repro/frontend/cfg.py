@@ -35,10 +35,17 @@ class Space(enum.Enum):
 
 @dataclass(frozen=True)
 class ArrayType:
-    """An array parameter: memory space plus element type."""
+    """An array parameter: memory space plus element type.
+
+    ``size`` is the statically-declared element count when known — local
+    arrays carry the ``local(f32, SIZE)`` literal so the out-of-bounds
+    pass (FE013) can check provable overruns; parameter arrays have no
+    declared extent and stay ``None``.
+    """
 
     space: Space
     elem: Scalar
+    size: int | None = None
 
     def __str__(self) -> str:
         return f"{self.space.value}_{self.elem.value}"
@@ -85,7 +92,13 @@ class Op:
 
 @dataclass(frozen=True)
 class Access:
-    """One static memory access (load or store)."""
+    """One static memory access (load or store).
+
+    ``phase`` counts the ``barrier()`` calls lowered before this access:
+    two local-memory accesses in different phases are ordered by the
+    work-group barrier between them and can never race (the suppression
+    rule of the FE011/FE012 race pass).
+    """
 
     array: str
     space: Space
@@ -93,6 +106,7 @@ class Access:
     index: tuple[AffineIndex, ...] | None  # None = opaque subscript
     line: int
     col: int
+    phase: int = 0
 
     @property
     def cls(self) -> str:
@@ -112,12 +126,25 @@ class Block:
 
 @dataclass
 class CountedLoop:
-    """A statically-bounded counted loop (``for v in range(...)``)."""
+    """A statically-bounded counted loop (``for v in range(...)``).
+
+    ``start``/``step`` record the folded ``range`` parameters so the
+    footprint analysis can enumerate the loop variable's concrete value
+    set (``start, start+step, ...`` for ``trip_count`` values); the
+    Table-1 count walk only ever uses ``trip_count``.
+    """
 
     var: str
     trip_count: int
     body: "Region"
     line: int = 0
+    start: int = 0
+    step: int = 1
+
+    def values(self) -> range:
+        """The loop variable's concrete value sequence."""
+        return range(self.start, self.start + self.step * self.trip_count,
+                     self.step) if self.step else range(0)
 
 
 @dataclass

@@ -42,17 +42,33 @@ from repro.kernelir.kernel import HostFunction, KernelIR
 
 @dataclass(frozen=True)
 class AnalysisResult:
-    """Everything the front-end pass derives from one kernel source."""
+    """Everything the front-end pass derives from one kernel source.
+
+    ``diagnostics`` are *lowering* findings (FE001–FE010): the kernel is
+    outside the countable subset and must not reach the scheduler.
+    ``races`` are the deeper FE011–FE013 findings of the
+    :mod:`repro.analysis.footprints` pass — provable cross-work-item
+    races and out-of-bounds accesses. They are kept separate because the
+    instruction mix and locality are still exact for a racy kernel:
+    lowering succeeded, so ``kernel_ir`` stays available while
+    ``repro-synergy analyze`` surfaces both sets.
+    """
 
     name: str
     cfg: KernelCFG
     mix: InstructionMix
     locality_estimate: LocalityEstimate
     diagnostics: tuple[Diagnostic, ...]
+    races: tuple[Diagnostic, ...] = ()
 
     @property
     def ok(self) -> bool:
         return not self.diagnostics
+
+    @property
+    def clean(self) -> bool:
+        """No findings of any kind — lowering or race/bounds."""
+        return not self.diagnostics and not self.races
 
 
 def _function_def(src: str, fn_name: str | None = None) -> ast.FunctionDef:
@@ -70,25 +86,62 @@ def _function_def(src: str, fn_name: str | None = None) -> ast.FunctionDef:
     return fns[0]
 
 
+def _shift(
+    diags: tuple[Diagnostic, ...], line_offset: int, col_offset: int
+) -> tuple[Diagnostic, ...]:
+    """Translate snippet-relative locations into file coordinates."""
+    if not line_offset and not col_offset:
+        return diags
+    return tuple(
+        Diagnostic(
+            code=d.code,
+            message=d.message,
+            line=d.line + line_offset,
+            col=d.col + col_offset,
+            kernel=d.kernel,
+        )
+        for d in diags
+    )
+
+
 def analyze_source(
     src: str,
     *,
     name: str | None = None,
     fn_name: str | None = None,
     constants: dict[str, int | float] | None = None,
+    line_offset: int = 0,
+    col_offset: int = 0,
 ) -> AnalysisResult:
-    """Run the complete front-end pass over kernel source text."""
+    """Run the complete front-end pass over kernel source text.
+
+    ``line_offset``/``col_offset`` translate diagnostic locations from
+    snippet coordinates (line 1 = first source line, columns after any
+    dedent) back into the enclosing file's coordinates — callers that
+    extracted the source from a larger file pass the function's start
+    line minus one and the stripped indent width. The shift applies to
+    every reported location, including ones anchored inside multi-line
+    statements.
+    """
     fn = _function_def(src, fn_name)
     kernel_name = name or fn.name
     cfg, sink = lower_kernel(fn, name=kernel_name, constants=constants)
     mix = count_region(cfg.body)
     estimate = estimate_locality(cfg.body)
+    races: tuple[Diagnostic, ...] = ()
+    if not sink.has_errors:
+        # The race/bounds pass needs a fully-lowered CFG; a kernel outside
+        # the subset already fails hard on its lowering diagnostics.
+        from repro.analysis.footprints import analyze_kernel_cfg
+
+        races = analyze_kernel_cfg(cfg)
     return AnalysisResult(
         name=kernel_name,
         cfg=cfg,
         mix=mix,
         locality_estimate=estimate,
-        diagnostics=sink.as_tuple(),
+        diagnostics=_shift(sink.as_tuple(), line_offset, col_offset),
+        races=_shift(races, line_offset, col_offset),
     )
 
 
@@ -128,19 +181,32 @@ class DeviceKernel:
         """The front-end pass output (computed once, cached)."""
         if self._analysis is None:
             try:
-                src = textwrap.dedent(inspect.getsource(self.fn))
+                lines, start_line = inspect.getsourcelines(self.fn)
             except (OSError, TypeError) as exc:
                 raise ValidationError(
                     f"cannot recover source for kernel {self.name!r} "
                     "(interactively-defined kernels must go through "
                     "analyze_source with explicit source text)"
                 ) from exc
-            # Drop decorator lines so only the function body is analyzed.
+            raw = "".join(lines)
+            src = textwrap.dedent(raw)
+            # Diagnostics come back in snippet coordinates; translate to
+            # the defining file's (line from getsourcelines, column from
+            # the indent dedent stripped).
+            indent = 0
+            for before, after in zip(
+                raw.splitlines(), src.splitlines()
+            ):
+                if after.strip():
+                    indent = len(before) - len(after)
+                    break
             self._analysis = analyze_source(
                 src,
                 name=self.name,
                 fn_name=self.fn.__name__,
                 constants=self.constants,
+                line_offset=start_line - 1,
+                col_offset=indent,
             )
         return self._analysis
 
@@ -152,6 +218,11 @@ class DeviceKernel:
     @property
     def diagnostics(self) -> tuple[Diagnostic, ...]:
         return self.analysis.diagnostics
+
+    @property
+    def races(self) -> tuple[Diagnostic, ...]:
+        """FE011–FE013 findings of the race/bounds pass."""
+        return self.analysis.races
 
     @property
     def locality_estimate(self) -> LocalityEstimate:

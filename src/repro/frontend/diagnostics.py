@@ -24,6 +24,13 @@ FE008     unsupported assignment target (tuple unpacking, starred,
           chained targets, attribute stores)
 FE009     bad kernel signature (missing work-item id, unknown annotation)
 FE010     value returned from a device kernel
+FE011     cross-work-item write/write race (two work items provably store
+          to the same element; reported by the ``repro.analysis`` race
+          pass, not by lowering)
+FE012     cross-work-item read/write race (one work item provably reads
+          an element another stores, with no ordering barrier between)
+FE013     statically-provable out-of-bounds access (negative index, or a
+          local-array index at or beyond the declared size)
 ========  ==================================================================
 """
 
@@ -45,6 +52,9 @@ MALFORMED_LOOP = "FE007"
 BAD_ASSIGNMENT_TARGET = "FE008"
 BAD_SIGNATURE = "FE009"
 RETURN_VALUE = "FE010"
+WRITE_WRITE_RACE = "FE011"
+READ_WRITE_RACE = "FE012"
+OUT_OF_BOUNDS = "FE013"
 
 #: All known codes (used by tests and the ``analyze`` JSON export).
 ALL_CODES: tuple[str, ...] = (
@@ -58,6 +68,9 @@ ALL_CODES: tuple[str, ...] = (
     BAD_ASSIGNMENT_TARGET,
     BAD_SIGNATURE,
     RETURN_VALUE,
+    WRITE_WRITE_RACE,
+    READ_WRITE_RACE,
+    OUT_OF_BOUNDS,
 )
 
 

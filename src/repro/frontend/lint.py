@@ -18,6 +18,9 @@ ND003     ``numpy.random`` global-state call (``np.random.rand``,
           / ``Generator`` / ``SeedSequence``
 ND004     ``==`` / ``!=`` against a nonzero float literal — compare
           with a tolerance; exact ``0.0`` sentinels remain legal
+ND005     mutable default argument (``def f(x, acc=[])``) — the default
+          is created once and shared across calls, so state leaks
+          between invocations; default to ``None`` and allocate inside
 ========  ============================================================
 
 Exposed as ``repro-synergy lint`` and wired into ``scripts/check.sh``.
@@ -34,6 +37,22 @@ WALLCLOCK_RULE = "ND001"
 GLOBAL_RANDOM_RULE = "ND002"
 NUMPY_RANDOM_RULE = "ND003"
 FLOAT_EQ_RULE = "ND004"
+MUTABLE_DEFAULT_RULE = "ND005"
+
+#: AST node types whose evaluation as a default produces a fresh mutable
+#: object — shared for the function's whole lifetime.
+_MUTABLE_DEFAULT_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+#: Builtin constructors whose call as a default is the same trap as a
+#: literal (``def f(seen=set())``); ``frozenset``/``tuple`` stay legal.
+_MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "bytearray"})
 
 #: Fully-qualified callables that read the wall clock.
 _BANNED_WALLCLOCK: frozenset[str] = frozenset({
@@ -143,6 +162,46 @@ class _Linter(ast.NodeVisitor):
                 f"numpy global-RNG call {dotted}(); use "
                 "numpy.random.default_rng(seed)",
             )
+
+    # ------------------------------------------------------------- defaults
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_DEFAULT_NODES):
+                kind = type(default).__name__.lower().replace("comp", " comprehension")
+                self._report(
+                    default, MUTABLE_DEFAULT_RULE,
+                    f"mutable default argument ({kind} literal) is shared "
+                    "across calls; default to None and allocate in the body",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and self.aliases.get(default.func.id, default.func.id)
+                in _MUTABLE_DEFAULT_CALLS
+            ):
+                self._report(
+                    default, MUTABLE_DEFAULT_RULE,
+                    f"mutable default argument ({default.func.id}() call) is "
+                    "shared across calls; default to None and allocate in "
+                    "the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
 
     # ---------------------------------------------------------- comparisons
 

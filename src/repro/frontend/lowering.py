@@ -143,6 +143,9 @@ class Lowerer:
         #: of an augmented-assignment store): nothing is emitted or
         #: re-reported.
         self._quiet = 0
+        #: Barrier-phase counter: incremented by every ``barrier()`` so
+        #: accesses record which synchronization phase they execute in.
+        self._phase = 0
 
     # ------------------------------------------------------------ plumbing
 
@@ -260,7 +263,10 @@ class Lowerer:
             and not value.args
             and not value.keywords
         ):
-            return  # work-group barrier: synchronization only, zero ops
+            # Work-group barrier: synchronization only, zero ops — but it
+            # opens a new phase for the race pass's ordering suppression.
+            self._phase += 1
+            return
         self._error(
             stmt, D.UNSUPPORTED_STATEMENT,
             "expression statements other than barrier() have no effect "
@@ -380,7 +386,7 @@ class Lowerer:
                 "loop target must be a single name",
             )
             return
-        trip = self._trip_count(stmt)
+        trip, start, step = self._trip_count(stmt)
         var = stmt.target.id
         # Loop variable: int, affine in itself, not a compile-time const.
         saved = (
@@ -395,14 +401,16 @@ class Lowerer:
             self._stmt(inner)
         self.region_stack.pop()
         self.region_stack[-1].items.append(
-            CountedLoop(var=var, trip_count=trip, body=body, line=stmt.lineno)
+            CountedLoop(var=var, trip_count=trip, body=body, line=stmt.lineno,
+                        start=start, step=step)
         )
         # After the loop the variable stays bound (Python semantics) but
         # its value is no longer a compile-time constant.
         if saved[0] is not None and saved[0] is not Scalar.INT:
             self.env[var] = saved[0]
 
-    def _trip_count(self, stmt: ast.For) -> int:
+    def _trip_count(self, stmt: ast.For) -> tuple[int, int, int]:
+        """Fold the loop's range; returns ``(trip_count, start, step)``."""
         it = stmt.iter
         if not (
             isinstance(it, ast.Call)
@@ -413,10 +421,10 @@ class Lowerer:
                 it, D.MALFORMED_LOOP,
                 "device loops must iterate over range(...)",
             )
-            return 0
+            return 0, 0, 1
         if it.keywords or not 1 <= len(it.args) <= 3:
             self._error(it, D.MALFORMED_LOOP, "malformed range(...) call")
-            return 0
+            return 0, 0, 1
         bounds: list[int] = []
         for arg in it.args:
             value = self._const_int(arg)
@@ -426,12 +434,14 @@ class Lowerer:
                     "loop bound is not a compile-time integer "
                     "(use a literal, or a scalar parameter with a default)",
                 )
-                return 0
+                return 0, 0, 1
             bounds.append(value)
         if len(bounds) == 3 and bounds[2] == 0:
             self._error(it.args[2], D.MALFORMED_LOOP, "range step cannot be 0")
-            return 0
-        return len(range(*bounds))
+            return 0, 0, 1
+        start = bounds[0] if len(bounds) >= 2 else 0
+        step = bounds[2] if len(bounds) == 3 else 1
+        return len(range(*bounds)), start, step
 
     def _const_int(self, node: ast.expr) -> int | None:
         """Compile-time fold of a loop bound (counts no operations)."""
@@ -626,6 +636,7 @@ class Lowerer:
 
     def _local_decl(self, node: ast.Call) -> ArrayType:
         elem = Scalar.FLOAT
+        size: int | None = None
         ok = 1 <= len(node.args) <= 2 and not node.keywords
         if ok and isinstance(node.args[0], ast.Name):
             if node.args[0].id == "i32":
@@ -634,15 +645,17 @@ class Lowerer:
                 ok = False
         else:
             ok = False
-        if ok and len(node.args) == 2 and self._const_int(node.args[1]) is None:
-            ok = False
+        if ok and len(node.args) == 2:
+            size = self._const_int(node.args[1])
+            if size is None:
+                ok = False
         if not ok:
             self.sink.report(
                 node, D.UNKNOWN_CALL,
                 "local array declarations look like local(f32, SIZE) with a "
                 "compile-time size",
             )
-        return ArrayType(Space.LOCAL, elem)
+        return ArrayType(Space.LOCAL, elem, size)
 
     def _call(self, node: ast.Call) -> _Value:
         if not isinstance(node.func, ast.Name) or node.keywords:
@@ -765,6 +778,7 @@ class Lowerer:
                     ),
                     line=node.lineno,
                     col=node.col_offset,
+                    phase=self._phase,
                 )
             )
         return _Value(arr.elem)

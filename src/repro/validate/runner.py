@@ -37,7 +37,7 @@ SWEEP_SPECS: tuple[GPUSpec, ...] = (NVIDIA_V100, AMD_MI100)
 #: Selectable report sections.
 SECTIONS: tuple[str, ...] = (
     "sweeps", "powercap", "scenarios", "differential", "frontend", "adapt",
-    "engine", "service", "distributed",
+    "engine", "service", "distributed", "analysis",
 )
 
 
@@ -142,6 +142,14 @@ def _distributed_section(report: ValidationReport) -> None:
         report.extend(run_distributed_checks())
 
 
+def _analysis_section(report: ValidationReport, seed: int) -> None:
+    from repro.validate.analysis import run_analysis_checks
+
+    # No scoped_cache here: each certifier scopes its own cache so the
+    # static and measured sides of one scenario share a warm scope.
+    report.extend(run_analysis_checks(seed))
+
+
 def _adapt_section(report: ValidationReport, seed: int) -> None:
     from repro.core.sweepcache import scoped_cache
     from repro.validate.adapt import run_adapt_checks
@@ -189,4 +197,6 @@ def run_validation(
         _service_section(report, seed)
     if "distributed" in sections:
         _distributed_section(report)
+    if "analysis" in sections:
+        _analysis_section(report, seed)
     return report

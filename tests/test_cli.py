@@ -24,6 +24,7 @@ ALL_SUBCOMMANDS = [
     "trace",
     "validate",
     "analyze",
+    "certify",
     "lint",
     "adapt",
     "serve",
@@ -407,5 +408,30 @@ def test_validate_unknown_scenario_exits_2(capsys):
 def test_validate_unknown_section_exits_2(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["validate", "--only", "nope"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_certify_weak_scaling_writes_report_json(tmp_path, capsys):
+    out = tmp_path / "certify.json"
+    assert main(
+        ["certify", "--scenario", "weak-scaling", "--json", str(out)]
+    ) == 0
+    stdout = capsys.readouterr().out
+    assert "certification certified" in stdout
+    assert "weak-scaling" in stdout
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["ok"] is True
+    cert = doc["scenarios"]["weak-scaling"]
+    assert cert["ok"] is True
+    assert any(c["quantity"] == "completion_s" for c in cert["checks"])
+    assert doc["deadline_demo"]["infeasible"]["witness"]
+
+
+def test_certify_unknown_scenario_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["certify", "--scenario", "warp-drive"])
     assert exc.value.code == 2
     assert "invalid choice" in capsys.readouterr().err

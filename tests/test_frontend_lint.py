@@ -5,6 +5,7 @@ import pytest
 from repro.frontend.lint import (
     FLOAT_EQ_RULE,
     GLOBAL_RANDOM_RULE,
+    MUTABLE_DEFAULT_RULE,
     NUMPY_RANDOM_RULE,
     WALLCLOCK_RULE,
     default_lint_root,
@@ -76,6 +77,49 @@ def test_numpy_global_rng_flagged(src):
     "import numpy as np\ng = np.random.Generator(np.random.PCG64(7))\n",
 ])
 def test_numpy_seeded_constructors_stay_legal(src):
+    assert _rules(src) == []
+
+
+def test_numpy_random_submodule_alias_resolves():
+    # ``from numpy import random as nr`` must canonicalize to
+    # ``numpy.random.*`` so the alias cannot launder a global-RNG call.
+    assert _rules(
+        "from numpy import random as nr\nx = nr.rand(3)\n"
+    ) == [NUMPY_RANDOM_RULE]
+    assert _rules(
+        "from numpy import random as nr\nrng = nr.default_rng(7)\n"
+    ) == []
+
+
+# --------------------------------------------------- ND005 mutable defaults
+
+@pytest.mark.parametrize("src", [
+    "def f(x, acc=[]):\n    return acc\n",
+    "def f(x, table={}):\n    return table\n",
+    "def f(x, seen=set()):\n    return seen\n",
+    "def f(x, acc=[i for i in range(3)]):\n    return acc\n",
+    "def f(*args, acc=[]):\n    return acc\n",  # keyword-only default
+    "g = lambda x, acc=[]: acc\n",
+    "async def f(x, acc=[]):\n    return acc\n",
+])
+def test_mutable_default_flagged(src):
+    assert _rules(src) == [MUTABLE_DEFAULT_RULE]
+
+
+def test_mutable_default_message_names_the_literal_kind():
+    violations = lint_source("def f(x, table={}):\n    return table\n")
+    assert "dict literal" in violations[0].message
+    assert "default to None" in violations[0].message
+
+
+@pytest.mark.parametrize("src", [
+    "def f(x, acc=None):\n    return acc or []\n",
+    "def f(x, acc=()):\n    return acc\n",  # tuples are immutable
+    "def f(x, n=3, name='k'):\n    return n\n",
+    "def f(*args, acc=None):\n    return acc\n",
+    "def f(x):\n    acc = []\n    return acc\n",  # body allocation is the fix
+])
+def test_safe_defaults_stay_legal(src):
     assert _rules(src) == []
 
 
